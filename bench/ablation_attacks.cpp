@@ -1,0 +1,67 @@
+// Ablation A5: detection across backdoor types and attack topologies.
+// The paper evaluates semantic (CIFAR-10) and label-flip (FEMNIST)
+// backdoors and conjectures (§V) that the misclassification-analysis
+// instantiation extends to other backdoor types; this bench adds
+// trigger-patch (BadNets-style) backdoors and the multi-client DBA
+// attack (Xie et al.) on top of the paper's two.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace baffle;
+
+int main() {
+  print_banner("Ablation — backdoor types and attack topologies",
+               "BaFFLe (ICDCS'21), §V conjecture + §VII DBA");
+
+  const std::size_t reps = bench_reps();
+  CsvWriter csv(bench::csv_path("ablation_attacks"),
+                {"attack", "fp_mean", "fn_mean", "final_backdoor_acc"});
+  TextTable table({"attack", "FP rate", "FN rate", "final backdoor acc"});
+
+  struct Arm {
+    const char* name;
+    TaskKind task;
+    std::optional<BackdoorKind> kind;
+    bool dba;
+  };
+  const std::vector<Arm> arms{
+      {"semantic, single-client (paper)", TaskKind::kVision10, std::nullopt,
+       false},
+      {"label-flip, single-client (paper)", TaskKind::kFemnist62,
+       std::nullopt, false},
+      {"trigger-patch, single-client", TaskKind::kVision10,
+       BackdoorKind::kTrigger, false},
+      {"trigger-patch, DBA x4 colluders", TaskKind::kVision10,
+       BackdoorKind::kTrigger, true},
+  };
+
+  for (const auto& arm : arms) {
+    ExperimentConfig cfg = bench::stable_config(
+        arm.task, arm.task == TaskKind::kVision10 ? 0.10 : 0.01,
+        DefenseMode::kClientsAndServer, 20, 5);
+    cfg.scenario.backdoor_override = arm.kind;
+    cfg.use_dba = arm.dba;
+    cfg.track_accuracy = true;
+    const auto rep = run_repeated(cfg, reps, 19000);
+    double bd = 0.0;
+    for (const auto& run : rep.runs) {
+      bd += run.final_backdoor_accuracy / static_cast<double>(reps);
+    }
+    table.row({arm.name, format_mean_std(rep.fp), format_mean_std(rep.fn),
+               format_rate(bd)});
+    csv.row({arm.name, CsvWriter::num(rep.fp.mean),
+             CsvWriter::num(rep.fn.mean), CsvWriter::num(bd)});
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected: the per-class misclassification analysis detects all\n"
+      "four — trigger backdoors shift the target class's error rates the\n"
+      "same way semantic ones do, and DBA's distributed delivery is\n"
+      "irrelevant to a defense that judges only the aggregated model.\n"
+      "CSV: %s\n",
+      bench::csv_path("ablation_attacks").c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation A6: feedback-loop protocol variants.
+//   (a) validating set = contributors (§VI-D's communication
+//       optimization, the default) vs an independently sampled set
+//       (Algorithm 1's original form);
+//   (b) validator non-response (footnote 1: the server accepts unless q
+//       rejections arrive), swept over dropout probabilities.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace baffle;
+
+int main() {
+  print_banner("Ablation — protocol variants (validator set, dropout)",
+               "BaFFLe (ICDCS'21), §VI-D + Algorithm 1 footnote");
+
+  const std::size_t reps = bench_reps();
+  CsvWriter csv(bench::csv_path("ablation_protocol"),
+                {"variant", "dropout", "fp_mean", "fn_mean"});
+  TextTable table({"validating set", "dropout", "FP rate", "FN rate"});
+
+  for (bool separate : {false, true}) {
+    for (double dropout : {0.0, 0.2, 0.5}) {
+      ExperimentConfig cfg = bench::stable_config(
+          TaskKind::kVision10, 0.10, DefenseMode::kClientsAndServer, 20, 5);
+      cfg.separate_validators = separate;
+      cfg.validator_dropout = dropout;
+      const auto rep = run_repeated(cfg, reps, 23000);
+      const char* variant =
+          separate ? "independent (Alg. 1)" : "contributors (SVI-D)";
+      table.row({variant, format_rate(dropout, 1), format_mean_std(rep.fp),
+                 format_mean_std(rep.fn)});
+      csv.row({variant, CsvWriter::num(dropout),
+               CsvWriter::num(rep.fp.mean), CsvWriter::num(rep.fn.mean)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected: merging validators with contributors (the paper's\n"
+      "communication optimization) does not change detection; moderate\n"
+      "dropout degrades gracefully because q of the responding validators\n"
+      "still suffices, while heavy dropout starts costing detections —\n"
+      "the accept-by-default rule trades availability for safety.\n"
+      "CSV: %s\n",
+      bench::csv_path("ablation_protocol").c_str());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 3: FP/FN rates vs quorum threshold q ∈ [3..9] for BAFFLE-C and
+// BAFFLE (BAFFLE-S is constant in q), per data split and dataset.
+//
+// Methodology note: the paper reruns the full experiment per q. Here the
+// trajectory is generated once per (dataset, split, mode) at the
+// reference q = 5, and the per-round reject-vote counts are re-thresholded
+// for every q — identical counting, minus the second-order effect of a
+// different q changing which rounds got rolled back. The reference-q
+// trajectory is the paper's recommended operating point, so the curves'
+// shape is preserved (and EXPERIMENTS.md records the approximation).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace baffle;
+
+namespace {
+
+struct Rates {
+  double fp = 0.0, fn = 0.0;
+};
+
+/// Re-thresholds recorded vote counts at quorum q.
+Rates rates_at_quorum(const std::vector<ExperimentResult>& runs,
+                      std::size_t q) {
+  std::size_t clean = 0, fp = 0, pois = 0, fn = 0;
+  for (const auto& run : runs) {
+    for (const auto& r : run.rounds) {
+      if (!r.defense_active) continue;
+      const bool reject = r.reject_votes >= q;
+      if (r.poisoned) {
+        ++pois;
+        if (!reject) ++fn;
+      } else {
+        ++clean;
+        if (reject) ++fp;
+      }
+    }
+  }
+  Rates out;
+  if (clean > 0) out.fp = static_cast<double>(fp) / clean;
+  if (pois > 0) out.fn = static_cast<double>(fn) / pois;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Figure 3 — detection rates vs quorum threshold q",
+               "BaFFLe (ICDCS'21), Fig. 3");
+
+  const std::size_t reps = bench_reps();
+  CsvWriter csv(bench::csv_path("fig3"),
+                {"dataset", "split", "mode", "q", "fp", "fn"});
+
+  for (TaskKind task : {TaskKind::kVision10, TaskKind::kFemnist62}) {
+    std::printf("\n=== dataset: %s ===\n", task_kind_name(task));
+    for (double sfrac : bench::server_fractions(task)) {
+      std::printf("\n-- split %s --\n",
+                  bench::split_name(task, sfrac).c_str());
+      TextTable table({"q", "BAFFLE-C FP", "BAFFLE-C FN", "BAFFLE FP",
+                       "BAFFLE FN", "BAFFLE-S FP", "BAFFLE-S FN"});
+
+      const auto run_mode = [&](DefenseMode mode) {
+        const ExperimentConfig cfg =
+            bench::stable_config(task, sfrac, mode, /*lookback=*/20,
+                                 /*quorum=*/5);
+        return run_repeated(cfg, reps, 3000).runs;
+      };
+      const auto c_runs = run_mode(DefenseMode::kClientsOnly);
+      const auto cs_runs = run_mode(DefenseMode::kClientsAndServer);
+      const auto s_runs = run_mode(DefenseMode::kServerOnly);
+      const Rates s = rates_at_quorum(s_runs, 1);  // server vote decides
+
+      for (std::size_t q = 3; q <= 9; ++q) {
+        const Rates c = rates_at_quorum(c_runs, q);
+        const Rates cs = rates_at_quorum(cs_runs, q);
+        table.row({std::to_string(q), format_rate(c.fp), format_rate(c.fn),
+                   format_rate(cs.fp), format_rate(cs.fn), format_rate(s.fp),
+                   format_rate(s.fn)});
+        csv.row({task_kind_name(task), bench::split_name(task, sfrac), "C",
+                 std::to_string(q), CsvWriter::num(c.fp),
+                 CsvWriter::num(c.fn)});
+        csv.row({task_kind_name(task), bench::split_name(task, sfrac), "C+S",
+                 std::to_string(q), CsvWriter::num(cs.fp),
+                 CsvWriter::num(cs.fn)});
+        csv.row({task_kind_name(task), bench::split_name(task, sfrac), "S",
+                 std::to_string(q), CsvWriter::num(s.fp),
+                 CsvWriter::num(s.fn)});
+      }
+      std::printf("%s", table.render().c_str());
+    }
+  }
+
+  std::printf(
+      "\npaper shape: FN approaches 0 for q <= 7 and FP grows slightly as\n"
+      "q decreases; 5 <= q <= 7 is the safe band; the feedback loop beats\n"
+      "BAFFLE-S's ~0.2 FP throughout; FEMNIST is insensitive to q (all\n"
+      "honest validators detect the label flip). CSV: %s\n",
+      bench::csv_path("fig3").c_str());
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels the
+// defense leans on: LOF scoring, per-class error-variation extraction,
+// secure-aggregation masking, GEMM, local training, and a full VALIDATE
+// call — the per-round client-side cost of BaFFLe.
+
+#include <benchmark/benchmark.h>
+
+#include "core/validate.hpp"
+#include "data/synth.hpp"
+#include "fl/secure_agg.hpp"
+#include "nn/train.hpp"
+#include "tensor/ops.hpp"
+
+namespace baffle {
+namespace {
+
+void BM_GemmForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, 64), b(64, 10), out(n, 10);
+  for (float& x : a.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : b.flat()) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm_ab(a, b, out);
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GemmForward)->Arg(32)->Arg(256);
+
+void BM_LofScore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<VariationPoint> reference;
+  for (std::size_t i = 0; i < n; ++i) {
+    VariationPoint p(20);
+    for (auto& x : p) x = rng.normal(0.0, 0.01);
+    reference.push_back(std::move(p));
+  }
+  const VariationPoint query(20, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lof_score(query, reference, (n + 1) / 2));
+  }
+}
+BENCHMARK(BM_LofScore)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_ErrorVariation(benchmark::State& state) {
+  ConfusionMatrix a(62), b(62);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const int t = static_cast<int>(rng.uniform_int(0, 61));
+    a.record(t, static_cast<int>(rng.uniform_int(0, 61)));
+    b.record(t, t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(error_variation(a, b));
+  }
+}
+BENCHMARK(BM_ErrorVariation);
+
+void BM_SecureAggMask(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  SecureAggConfig cfg;
+  cfg.round_key = 7;
+  const SecureAggregation sa(cfg);
+  ParamVec update(dim, 0.5f);
+  std::vector<std::size_t> participants(10);
+  for (std::size_t i = 0; i < 10; ++i) participants[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.mask_update(update, 3, participants));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(dim) * 4);
+}
+BENCHMARK(BM_SecureAggMask)->Arg(2762)->Arg(10718);
+
+void BM_LocalTraining(benchmark::State& state) {
+  Rng rng(4);
+  SynthTaskConfig cfg = synth_vision10_config();
+  cfg.train_per_class = 10;
+  const SynthTask task = make_synth_task(cfg, rng);
+  Mlp model(MlpConfig{{cfg.dim, 64, cfg.num_classes}, Activation::kRelu});
+  model.init(rng);
+  const Matrix x = task.train.features();
+  const auto labels = task.train.labels();
+  TrainConfig tc;  // 2 epochs: one client's per-round work
+  for (auto _ : state) {
+    Mlp local = model;
+    Rng train_rng = rng.fork();
+    train_sgd(local, x, labels, tc, train_rng);
+    benchmark::DoNotOptimize(local.parameters());
+  }
+}
+BENCHMARK(BM_LocalTraining);
+
+void BM_ValidateCall(benchmark::State& state) {
+  // Full Algorithm 2 on a 21-model history with a warm cache — the
+  // steady-state per-round cost of one validating client.
+  Rng rng(5);
+  SynthTaskConfig cfg = synth_vision10_config();
+  cfg.train_per_class = 60;
+  const SynthTask task = make_synth_task(cfg, rng);
+  const MlpConfig arch{{cfg.dim, 32, cfg.num_classes}, Activation::kRelu};
+  Mlp model(arch);
+  model.init(rng);
+  TrainConfig warm;
+  warm.epochs = 8;
+  warm.sgd.learning_rate = 0.05f;
+  train_sgd(model, task.train.features(), task.train.labels(), warm, rng);
+  std::vector<GlobalModel> history;
+  TrainConfig slice;
+  slice.epochs = 1;
+  slice.sgd.learning_rate = 0.01f;
+  for (std::uint64_t v = 0; v <= 20; ++v) {
+    history.push_back({v, model.parameters()});
+    train_sgd(model, task.train.features(), task.train.labels(), slice, rng);
+  }
+  ValidatorConfig vcfg;
+  vcfg.lookback = 20;
+  Validator validator(task.test.sample(100, rng), arch, vcfg);
+  const ParamVec candidate = model.parameters();
+  validator.validate(candidate, history);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator.validate(candidate, history));
+  }
+}
+BENCHMARK(BM_ValidateCall);
+
+}  // namespace
+}  // namespace baffle
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table II: FN rates against adaptive vs non-adaptive injections for
+// BAFFLE-C / BAFFLE-S / BAFFLE across the CIFAR-10-like data splits.
+// The adaptive attacker runs the defense's own validation function on
+// its local data and scales the injection back until it self-passes;
+// only self-passed injections count (the paper's "adaptive injections").
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace baffle;
+
+namespace {
+
+/// FN over recorded injections, pooled across repetitions.
+double injection_fn_rate(const std::vector<ExperimentResult>& runs) {
+  std::size_t injections = 0, missed = 0;
+  for (const auto& run : runs) {
+    for (const auto& inj : run.injections) {
+      ++injections;
+      if (!inj.rejected) ++missed;
+    }
+  }
+  return injections == 0 ? 0.0
+                         : static_cast<double>(missed) /
+                               static_cast<double>(injections);
+}
+
+std::size_t total_skipped(const std::vector<ExperimentResult>& runs) {
+  std::size_t n = 0;
+  for (const auto& run : runs) n += run.adaptive_skipped;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Table II — FN rates against adaptive injections",
+               "BaFFLe (ICDCS'21), Table II");
+
+  const std::size_t reps = bench_reps();
+  const TaskKind task = TaskKind::kVision10;
+  const std::vector<std::pair<DefenseMode, const char*>> modes{
+      {DefenseMode::kClientsOnly, "C"},
+      {DefenseMode::kServerOnly, "S"},
+      {DefenseMode::kClientsAndServer, "C+S"}};
+
+  CsvWriter csv(bench::csv_path("table2"),
+                {"split", "attack", "mode", "fn", "adaptive_skipped"});
+  TextTable table({"split", "attack", "mode", "FN rate", "skipped"});
+
+  for (double sfrac : bench::server_fractions(task)) {
+    for (bool adaptive : {false, true}) {
+      for (const auto& [mode, mode_name] : modes) {
+        ExperimentConfig cfg =
+            bench::stable_config(task, sfrac, mode, 20, 5);
+        cfg.schedule.adaptive = adaptive;
+        const auto rep = run_repeated(cfg, reps, 7000);
+        const double fn = injection_fn_rate(rep.runs);
+        const std::size_t skipped = adaptive ? total_skipped(rep.runs) : 0;
+        table.row({bench::split_name(task, sfrac),
+                   adaptive ? "Adaptive" : "Non-Adaptive", mode_name,
+                   format_rate(fn), std::to_string(skipped)});
+        csv.row({bench::split_name(task, sfrac),
+                 adaptive ? "adaptive" : "non-adaptive", mode_name,
+                 CsvWriter::num(fn), std::to_string(skipped)});
+      }
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\npaper shape: the feedback loop (C, C+S) keeps FN at/near 0 even\n"
+      "for adaptive injections; server-only misses a sizeable fraction\n"
+      "(paper: 33%% FN on two splits) because a single validation view is\n"
+      "easier to fool. 'skipped' counts rounds the adaptive attacker sat\n"
+      "out after failing its own check. CSV: %s\n",
+      bench::csv_path("table2").c_str());
+  return 0;
+}

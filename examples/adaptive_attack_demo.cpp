@@ -1,0 +1,51 @@
+// Adaptive attacker demo: the attacker knows the defense, runs BaFFLe's
+// own VALIDATE on its local data, scales its injection back until it
+// self-passes — and still gets caught by validators holding data it has
+// never seen. Reproduces the intuition behind Table II / Figure 5.
+
+#include <cstdio>
+
+#include "exp/experiment.hpp"
+
+int main() {
+  using namespace baffle;
+
+  ExperimentConfig config;
+  config.scenario = vision_scenario(/*server_fraction=*/0.10);
+  config.feedback.mode = DefenseMode::kClientsAndServer;
+  config.feedback.quorum = 5;
+  config.feedback.validator.lookback = 20;
+  config.schedule = AttackSchedule::stable_scenario();
+  config.schedule.adaptive = true;  // defense-aware attacker
+  config.rounds = 50;
+  config.defense_start = 20;
+
+  std::printf("adaptive attacker: knows l=20, q=5; self-validates every\n"
+              "injection with the defense's own algorithm on its local "
+              "data\n\n");
+  const ExperimentResult result = run_experiment(config, 2027);
+
+  std::printf("%-6s %-14s %-8s %-10s\n", "round", "injection", "alpha",
+              "verdict");
+  for (const auto& inj : result.injections) {
+    std::printf("%-6zu self-passed    %-8.2f %s (%zu/%zu votes)\n",
+                inj.round, inj.alpha,
+                inj.rejected ? "REJECTED" : "missed", inj.reject_votes,
+                inj.total_voters);
+  }
+  if (result.adaptive_skipped > 0) {
+    std::printf("(+ %zu scheduled injections the attacker aborted after\n"
+                "   failing its own check at every scale)\n",
+                result.adaptive_skipped);
+  }
+
+  std::printf("\nfp rate on clean rounds: %.3f\n", result.rates.fp_rate);
+  std::printf("final main accuracy: %.3f, final backdoor accuracy: %.3f\n",
+              result.final_main_accuracy, result.final_backdoor_accuracy);
+  std::printf(
+      "\nwhy it fails: the attacker can make the poisoned model behave on\n"
+      "ITS data, but each validating client checks on a private non-IID\n"
+      "shard the attacker cannot simulate — decentralized data is itself\n"
+      "the defense (paper, SVI-C).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Secure aggregation walk-through: pairwise masking, exact cancellation
+// in Z_2^64 fixed-point arithmetic, dropout recovery, and the property
+// BaFFLe is built around — the server learns the SUM of the updates and
+// nothing about any individual one.
+
+#include <cstdio>
+
+#include "fl/secure_agg.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace baffle;
+
+  SecureAggConfig cfg;
+  cfg.round_key = 0xC0FFEE;  // per-round key (DH agreement in the real protocol)
+  const SecureAggregation secure(cfg);
+
+  // Five clients, tiny 4-dimensional "updates" for readability.
+  const std::vector<std::size_t> participants{10, 11, 12, 13, 14};
+  Rng rng(5);
+  std::vector<ParamVec> updates;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    ParamVec u(4);
+    for (float& x : u) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    updates.push_back(std::move(u));
+  }
+
+  std::printf("client updates (private, never sent in the clear):\n");
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    std::printf("  client %zu: [% .4f % .4f % .4f % .4f]\n",
+                participants[i], updates[i][0], updates[i][1],
+                updates[i][2], updates[i][3]);
+  }
+
+  // Client side: each masks its quantized update with pairwise PRG masks.
+  std::vector<MaskedVec> masked;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    masked.push_back(
+        secure.mask_update(updates[i], participants[i], participants));
+  }
+  std::printf("\nwhat the server receives (masked, looks uniform):\n");
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    std::printf("  client %zu: [%016llx %016llx ...]\n", participants[i],
+                static_cast<unsigned long long>(masked[i][0]),
+                static_cast<unsigned long long>(masked[i][1]));
+  }
+
+  // Server side: sum the masked vectors; all pairwise masks cancel.
+  const ParamVec total =
+      secure.unmask_sum(masked, participants, participants, 4);
+  const ParamVec expected = sum_updates(updates);
+  std::printf("\nunmasked sum vs true sum:\n");
+  for (std::size_t j = 0; j < 4; ++j) {
+    std::printf("  [% .6f] vs [% .6f]  (|diff| = %.2e)\n", total[j],
+                expected[j], std::abs(total[j] - expected[j]));
+  }
+
+  // Dropout: client 12 sends nothing; the server reconstructs its
+  // pairwise masks (Shamir-share recovery in the real protocol) and the
+  // surviving four updates still sum exactly.
+  std::printf("\n--- dropout: client 12 never responds ---\n");
+  std::vector<MaskedVec> survived;
+  std::vector<std::size_t> senders;
+  ParamVec expected_survivors(4, 0.0f);
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (participants[i] == 12) continue;
+    survived.push_back(masked[i]);
+    senders.push_back(participants[i]);
+    axpy(1.0f, updates[i], expected_survivors);
+  }
+  const ParamVec recovered =
+      secure.unmask_sum(survived, senders, participants, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    std::printf("  [% .6f] vs [% .6f]\n", recovered[j],
+                expected_survivors[j]);
+  }
+
+  std::printf("\nBaFFLe's compatibility claim rests on this: the defense\n"
+              "only ever inspects the aggregated global model, so masking\n"
+              "individual updates costs it nothing — unlike Krum, median,\n"
+              "FoolsGold, and the other update-inspection defenses.\n");
+  return 0;
+}

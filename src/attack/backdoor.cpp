@@ -1,0 +1,24 @@
+#include "attack/backdoor.hpp"
+
+#include <stdexcept>
+
+namespace baffle {
+
+double backdoor_accuracy(Mlp& model, const Dataset& backdoor_test,
+                         int target_class) {
+  if (backdoor_test.empty()) {
+    throw std::invalid_argument("backdoor_accuracy: empty test set");
+  }
+  if (target_class < 0 ||
+      static_cast<std::size_t>(target_class) >= backdoor_test.num_classes()) {
+    throw std::invalid_argument("backdoor_accuracy: bad target class");
+  }
+  const auto preds = model.predict(backdoor_test.features());
+  std::size_t hits = 0;
+  for (std::size_t p : preds) {
+    if (p == static_cast<std::size_t>(target_class)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(preds.size());
+}
+
+}  // namespace baffle

@@ -1,0 +1,16 @@
+#pragma once
+// Attacker-side success metric.
+
+#include "data/backdoor_data.hpp"
+#include "nn/mlp.hpp"
+
+namespace baffle {
+
+/// Backdoor accuracy (Eq. 1): fraction of backdoor instances the model
+/// assigns to the attacker's target class. Only the attacker can compute
+/// this — defenders do not know X* — so it appears exclusively in the
+/// evaluation harness, never inside the defense.
+double backdoor_accuracy(Mlp& model, const Dataset& backdoor_test,
+                         int target_class);
+
+}  // namespace baffle

@@ -1,0 +1,91 @@
+#include "baselines/flguard_lite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/stats.hpp"
+
+namespace baffle {
+
+FlGuardLiteAggregator::FlGuardLiteAggregator(double filter_fraction,
+                                             double noise_factor,
+                                             std::uint64_t seed)
+    : filter_fraction_(filter_fraction),
+      noise_factor_(noise_factor),
+      seed_(seed) {
+  if (filter_fraction < 0.0 || filter_fraction >= 1.0) {
+    throw std::invalid_argument("flguard-lite: bad filter fraction");
+  }
+  if (noise_factor < 0.0) {
+    throw std::invalid_argument("flguard-lite: negative noise");
+  }
+}
+
+std::vector<std::size_t> FlGuardLiteAggregator::filter(
+    const std::vector<ParamVec>& updates) const {
+  const std::size_t n = updates.size();
+  // Mean cosine similarity of each update to all others; the least
+  // aligned updates are dropped.
+  std::vector<double> alignment(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        alignment[i] += cosine_similarity(updates[i], updates[j]);
+      }
+    }
+    if (n > 1) alignment[i] /= static_cast<double>(n - 1);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return alignment[a] > alignment[b];
+  });
+  const auto keep = std::max<std::size_t>(
+      1, n - static_cast<std::size_t>(filter_fraction_ *
+                                      static_cast<double>(n)));
+  order.resize(keep);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+ParamVec FlGuardLiteAggregator::aggregate(
+    const std::vector<ParamVec>& updates) const {
+  if (updates.empty()) {
+    throw std::invalid_argument("flguard-lite: no updates");
+  }
+  const std::size_t dim = updates.front().size();
+  check_update_sizes(updates, dim);
+
+  const auto kept = filter(updates);
+
+  // Layer 2: clip to the median norm of the survivors, average, noise.
+  std::vector<double> norms;
+  norms.reserve(kept.size());
+  for (std::size_t i : kept) norms.push_back(l2_norm(updates[i]));
+  double bound = median(norms);
+  if (bound <= 0.0) bound = 1.0;
+
+  ParamVec out(dim, 0.0f);
+  for (std::size_t i : kept) {
+    const double norm = l2_norm(updates[i]);
+    const float factor =
+        norm > bound ? static_cast<float>(bound / norm) : 1.0f;
+    axpy(factor, updates[i], out);
+  }
+  scale(out, 1.0f / static_cast<float>(kept.size()));
+
+  if (noise_factor_ > 0.0) {
+    Rng rng(seed_);
+    const double sigma = noise_factor_ * bound /
+                         std::sqrt(static_cast<double>(dim));
+    for (float& x : out) {
+      x += static_cast<float>(rng.normal(0.0, sigma));
+    }
+  }
+  return out;
+}
+
+}  // namespace baffle

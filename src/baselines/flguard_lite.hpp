@@ -1,0 +1,39 @@
+#pragma once
+// FLGUARD-lite (after Nguyen et al., cited by the paper as [20]) — a
+// simplified rendition of the two-layer defense:
+//   layer 1 (filtering): drop updates outside the majority direction
+//     cluster (here: lowest mean cosine similarity to the others, a
+//     stand-in for the paper's HDBSCAN over cosine distances);
+//   layer 2 (residual removal): clip survivors to the median norm,
+//     average, and add Gaussian noise.
+// Included as a comparison baseline: it inspects individual updates
+// (secure-aggregation incompatible) and — as the paper notes — its
+// private variant requires heavyweight changes to the FL process.
+
+#include "fl/aggregator.hpp"
+#include "util/rng.hpp"
+
+namespace baffle {
+
+class FlGuardLiteAggregator final : public Aggregator {
+ public:
+  /// `filter_fraction` — share of updates removed by layer 1;
+  /// `noise_factor` — Gaussian σ as a fraction of the clip bound
+  /// (0 disables noising); `seed` — noise determinism.
+  FlGuardLiteAggregator(double filter_fraction = 0.25,
+                        double noise_factor = 0.01,
+                        std::uint64_t seed = 0x71A2D);
+
+  ParamVec aggregate(const std::vector<ParamVec>& updates) const override;
+  std::string_view name() const override { return "flguard-lite"; }
+
+  /// Indices surviving layer 1 (exposed for tests).
+  std::vector<std::size_t> filter(const std::vector<ParamVec>& updates) const;
+
+ private:
+  double filter_fraction_;
+  double noise_factor_;
+  std::uint64_t seed_;
+};
+
+}  // namespace baffle

@@ -1,0 +1,67 @@
+#include "baselines/foolsgold.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+ParamVec FoolsGold::aggregate(const std::vector<ParamVec>& updates,
+                              const std::vector<std::size_t>& ids) {
+  if (updates.empty() || updates.size() != ids.size()) {
+    throw std::invalid_argument("FoolsGold: bad inputs");
+  }
+  const std::size_t dim = updates.front().size();
+  check_update_sizes(updates, dim);
+  const std::size_t n = updates.size();
+
+  // Update per-client aggregate history.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [it, inserted] = memory_.try_emplace(ids[i], ParamVec(dim, 0.0f));
+    axpy(1.0f, updates[i], it->second);
+  }
+
+  // Pairwise cosine similarity of the clients' historical directions.
+  std::vector<double> max_cs(n, 0.0);
+  std::vector<std::vector<double>> cs(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      cs[i][j] = cosine_similarity(memory_.at(ids[i]), memory_.at(ids[j]));
+      max_cs[i] = std::max(max_cs[i], cs[i][j]);
+    }
+  }
+
+  // Pardoning + logit re-weighting (Fung et al., Alg. 1).
+  std::vector<double> weight(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = max_cs[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && max_cs[j] > max_cs[i] && max_cs[j] > 0.0) {
+        v = std::max(v, cs[i][j] * max_cs[i] / max_cs[j]);
+      }
+    }
+    weight[i] = 1.0 - v;
+  }
+  const double wmax = *std::max_element(weight.begin(), weight.end());
+  for (auto& w : weight) {
+    if (wmax > 0.0) w /= wmax;
+    w = std::clamp(w, 1e-5, 1.0 - 1e-5);
+    w = confidence_ * (std::log(w / (1.0 - w)) + 0.5);
+    w = std::clamp(w, 0.0, 1.0);
+  }
+
+  last_weights_ = weight;
+  ParamVec out(dim, 0.0f);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    axpy(static_cast<float>(weight[i]), updates[i], out);
+    total += weight[i];
+  }
+  if (total > 0.0) scale(out, static_cast<float>(1.0 / total));
+  return out;
+}
+
+}  // namespace baffle

@@ -1,0 +1,36 @@
+#pragma once
+// FoolsGold (Fung et al.) — down-weights clients whose *historical*
+// update directions are suspiciously similar (sybils pushing the same
+// poisoned objective). Needs stable client identities across rounds,
+// which is exactly what makes it incompatible with secure aggregation —
+// and, as the paper notes, a single-client adaptive attack circumvents
+// it (there is no sybil group to correlate). The ablation bench
+// demonstrates both properties.
+
+#include <unordered_map>
+
+#include "fl/update.hpp"
+
+namespace baffle {
+
+class FoolsGold {
+ public:
+  explicit FoolsGold(double confidence = 1.0) : confidence_(confidence) {}
+
+  /// Aggregates one round. `ids[i]` identifies the client that produced
+  /// `updates[i]`; per-client aggregate-update memory accumulates across
+  /// calls. Returns the re-weighted mean update.
+  ParamVec aggregate(const std::vector<ParamVec>& updates,
+                     const std::vector<std::size_t>& ids);
+
+  /// The per-client weights computed in the last aggregate() call
+  /// (aligned with its `ids`), for inspection.
+  const std::vector<double>& last_weights() const { return last_weights_; }
+
+ private:
+  double confidence_;
+  std::unordered_map<std::size_t, ParamVec> memory_;
+  std::vector<double> last_weights_;
+};
+
+}  // namespace baffle

@@ -1,0 +1,69 @@
+#include "baselines/krum.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+KrumAggregator::KrumAggregator(std::size_t assumed_byzantine, bool multi)
+    : assumed_byzantine_(assumed_byzantine), multi_(multi) {}
+
+std::vector<double> KrumAggregator::scores(
+    const std::vector<ParamVec>& updates) const {
+  const std::size_t n = updates.size();
+  if (n < assumed_byzantine_ + 3) {
+    throw std::invalid_argument("Krum: need n >= f + 3 updates");
+  }
+  // Pairwise squared distances.
+  std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = l2_distance(updates[i], updates[j]);
+      d2[i][j] = d2[j][i] = d * d;
+    }
+  }
+  const std::size_t closest = n - assumed_byzantine_ - 2;
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row;
+    row.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row.push_back(d2[i][j]);
+    }
+    std::sort(row.begin(), row.end());
+    out[i] = std::accumulate(row.begin(),
+                             row.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(closest, row.size())),
+                             0.0);
+  }
+  return out;
+}
+
+std::size_t KrumAggregator::select(
+    const std::vector<ParamVec>& updates) const {
+  const auto s = scores(updates);
+  return static_cast<std::size_t>(
+      std::min_element(s.begin(), s.end()) - s.begin());
+}
+
+ParamVec KrumAggregator::aggregate(
+    const std::vector<ParamVec>& updates) const {
+  check_update_sizes(updates, updates.empty() ? 0 : updates.front().size());
+  if (!multi_) return updates[select(updates)];
+  const auto s = scores(updates);
+  std::vector<std::size_t> order(updates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return s[a] < s[b]; });
+  const std::size_t m = std::max<std::size_t>(
+      1, updates.size() - assumed_byzantine_ - 2);
+  std::vector<ParamVec> best;
+  best.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) best.push_back(updates[order[i]]);
+  return mean_update(best);
+}
+
+}  // namespace baffle

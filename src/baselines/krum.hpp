@@ -1,0 +1,36 @@
+#pragma once
+// Krum / Multi-Krum (Blanchard et al., NIPS'17).
+//
+// Krum scores each update by the sum of squared distances to its n−f−2
+// closest peers and selects the lowest-scoring one; Multi-Krum averages
+// the m best. Implemented as a comparison baseline: the paper's point
+// (§I, §VII) is that Byzantine-robust rules assume near-IID clients and
+// need individual updates — incompatible with secure aggregation — and
+// still miss single-client model replacement under non-IID data.
+
+#include "fl/aggregator.hpp"
+
+namespace baffle {
+
+class KrumAggregator final : public Aggregator {
+ public:
+  /// `assumed_byzantine` is f; `multi` selects Multi-Krum with m =
+  /// n − f − 2 averaged updates (m is clamped to ≥ 1).
+  KrumAggregator(std::size_t assumed_byzantine, bool multi = false);
+
+  ParamVec aggregate(const std::vector<ParamVec>& updates) const override;
+  std::string_view name() const override {
+    return multi_ ? "multi-krum" : "krum";
+  }
+
+  /// Index of the update plain Krum would select (exposed for tests).
+  std::size_t select(const std::vector<ParamVec>& updates) const;
+
+ private:
+  std::vector<double> scores(const std::vector<ParamVec>& updates) const;
+
+  std::size_t assumed_byzantine_;
+  bool multi_;
+};
+
+}  // namespace baffle

@@ -1,0 +1,38 @@
+#include "baselines/median.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace baffle {
+
+ParamVec CoordinateMedianAggregator::aggregate(
+    const std::vector<ParamVec>& updates) const {
+  if (updates.empty()) {
+    throw std::invalid_argument("coord-median: no updates");
+  }
+  const std::size_t dim = updates.front().size();
+  check_update_sizes(updates, dim);
+  ParamVec out(dim);
+  std::vector<float> column(updates.size());
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      column[i] = updates[i][j];
+    }
+    const std::size_t mid = column.size() / 2;
+    std::nth_element(column.begin(),
+                     column.begin() + static_cast<std::ptrdiff_t>(mid),
+                     column.end());
+    if (column.size() % 2 == 1) {
+      out[j] = column[mid];
+    } else {
+      const float hi = column[mid];
+      const float lo =
+          *std::max_element(column.begin(),
+                            column.begin() + static_cast<std::ptrdiff_t>(mid));
+      out[j] = (lo + hi) / 2.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace baffle

@@ -1,0 +1,14 @@
+#pragma once
+// Coordinate-wise median aggregation (Yin et al., ICML'18).
+
+#include "fl/aggregator.hpp"
+
+namespace baffle {
+
+class CoordinateMedianAggregator final : public Aggregator {
+ public:
+  ParamVec aggregate(const std::vector<ParamVec>& updates) const override;
+  std::string_view name() const override { return "coord-median"; }
+};
+
+}  // namespace baffle

@@ -1,0 +1,39 @@
+#include "baselines/norm_clip.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/stats.hpp"
+
+namespace baffle {
+
+NormClipAggregator::NormClipAggregator(double max_norm)
+    : max_norm_(max_norm) {}
+
+ParamVec NormClipAggregator::aggregate(
+    const std::vector<ParamVec>& updates) const {
+  if (updates.empty()) throw std::invalid_argument("norm-clip: no updates");
+  const std::size_t dim = updates.front().size();
+  check_update_sizes(updates, dim);
+
+  double bound = max_norm_;
+  if (bound <= 0.0) {
+    std::vector<double> norms;
+    norms.reserve(updates.size());
+    for (const auto& u : updates) norms.push_back(l2_norm(u));
+    bound = median(std::move(norms));
+    if (bound <= 0.0) bound = 1.0;
+  }
+
+  ParamVec out(dim, 0.0f);
+  for (const auto& u : updates) {
+    const double norm = l2_norm(u);
+    const float factor =
+        norm > bound ? static_cast<float>(bound / norm) : 1.0f;
+    axpy(factor, u, out);
+  }
+  scale(out, 1.0f / static_cast<float>(updates.size()));
+  return out;
+}
+
+}  // namespace baffle

@@ -1,0 +1,24 @@
+#pragma once
+// Norm-clipping aggregation (Sun et al., "Can you really backdoor
+// federated learning?"): bound each update's L2 norm before averaging,
+// which blunts boosted model-replacement updates. Like all
+// update-inspection defenses it requires individual updates.
+
+#include "fl/aggregator.hpp"
+
+namespace baffle {
+
+class NormClipAggregator final : public Aggregator {
+ public:
+  /// `max_norm` <= 0 selects an adaptive bound: the median norm of the
+  /// round's updates.
+  explicit NormClipAggregator(double max_norm = 0.0);
+
+  ParamVec aggregate(const std::vector<ParamVec>& updates) const override;
+  std::string_view name() const override { return "norm-clip"; }
+
+ private:
+  double max_norm_;
+};
+
+}  // namespace baffle

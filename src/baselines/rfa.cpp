@@ -1,0 +1,42 @@
+#include "baselines/rfa.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+RfaAggregator::RfaAggregator(std::size_t max_iterations, double smoothing)
+    : max_iterations_(max_iterations), smoothing_(smoothing) {
+  if (max_iterations == 0) {
+    throw std::invalid_argument("RFA: max_iterations == 0");
+  }
+}
+
+ParamVec RfaAggregator::aggregate(
+    const std::vector<ParamVec>& updates) const {
+  if (updates.empty()) throw std::invalid_argument("RFA: no updates");
+  const std::size_t dim = updates.front().size();
+  check_update_sizes(updates, dim);
+
+  // Weiszfeld: z <- Σ w_i u_i / Σ w_i with w_i = 1 / max(ν, ||z - u_i||).
+  ParamVec z = mean_update(updates);
+  for (std::size_t it = 0; it < max_iterations_; ++it) {
+    ParamVec next(dim, 0.0f);
+    double weight_total = 0.0;
+    for (const auto& u : updates) {
+      const double d = std::max(
+          smoothing_, static_cast<double>(l2_distance(z, u)));
+      const double w = 1.0 / d;
+      weight_total += w;
+      axpy(static_cast<float>(w), u, next);
+    }
+    scale(next, static_cast<float>(1.0 / weight_total));
+    const float shift = l2_distance(z, next);
+    z = std::move(next);
+    if (shift < 1e-9f) break;
+  }
+  return z;
+}
+
+}  // namespace baffle

@@ -1,0 +1,24 @@
+#pragma once
+// Robust Federated Aggregation (Pillutla et al.) — geometric median of
+// the updates via the smoothed Weiszfeld algorithm. The paper cites RFA
+// as robust against *untargeted* attacks but vulnerable to targeted
+// backdoors (Xie et al.); the ablation bench reproduces that gap.
+
+#include "fl/aggregator.hpp"
+
+namespace baffle {
+
+class RfaAggregator final : public Aggregator {
+ public:
+  explicit RfaAggregator(std::size_t max_iterations = 8,
+                         double smoothing = 1e-6);
+
+  ParamVec aggregate(const std::vector<ParamVec>& updates) const override;
+  std::string_view name() const override { return "rfa"; }
+
+ private:
+  std::size_t max_iterations_;
+  double smoothing_;
+};
+
+}  // namespace baffle

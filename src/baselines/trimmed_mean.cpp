@@ -1,0 +1,33 @@
+#include "baselines/trimmed_mean.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace baffle {
+
+TrimmedMeanAggregator::TrimmedMeanAggregator(std::size_t trim)
+    : trim_(trim) {}
+
+ParamVec TrimmedMeanAggregator::aggregate(
+    const std::vector<ParamVec>& updates) const {
+  if (updates.size() <= 2 * trim_) {
+    throw std::invalid_argument("trimmed-mean: need n > 2*trim");
+  }
+  const std::size_t dim = updates.front().size();
+  check_update_sizes(updates, dim);
+  ParamVec out(dim);
+  std::vector<float> column(updates.size());
+  const std::size_t keep = updates.size() - 2 * trim_;
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      column[i] = updates[i][j];
+    }
+    std::sort(column.begin(), column.end());
+    double acc = 0.0;
+    for (std::size_t i = trim_; i < trim_ + keep; ++i) acc += column[i];
+    out[j] = static_cast<float>(acc / static_cast<double>(keep));
+  }
+  return out;
+}
+
+}  // namespace baffle

@@ -1,0 +1,21 @@
+#pragma once
+// Coordinate-wise β-trimmed mean (Yin et al., ICML'18).
+
+#include "fl/aggregator.hpp"
+
+namespace baffle {
+
+class TrimmedMeanAggregator final : public Aggregator {
+ public:
+  /// Drops the `trim` largest and `trim` smallest values per coordinate;
+  /// requires n > 2·trim.
+  explicit TrimmedMeanAggregator(std::size_t trim);
+
+  ParamVec aggregate(const std::vector<ParamVec>& updates) const override;
+  std::string_view name() const override { return "trimmed-mean"; }
+
+ private:
+  std::size_t trim_;
+};
+
+}  // namespace baffle

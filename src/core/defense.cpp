@@ -1,0 +1,110 @@
+#include "core/defense.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace baffle {
+
+BaffleDefense::BaffleDefense(MlpConfig arch, FeedbackConfig config,
+                             Dataset server_holdout)
+    : arch_(std::move(arch)),
+      config_(config),
+      history_(config.validator.lookback + 1) {
+  const bool needs_server = config.mode != DefenseMode::kClientsOnly;
+  if (needs_server && server_holdout.empty()) {
+    throw std::invalid_argument(
+        "BaffleDefense: server holdout required for this mode");
+  }
+  if (!server_holdout.empty()) {
+    server_validator_.emplace(std::move(server_holdout), arch_,
+                              config.server_validator());
+  }
+}
+
+void BaffleDefense::on_commit(std::uint64_t version, ParamVec params) {
+  history_.push(version, std::move(params));
+}
+
+bool BaffleDefense::ready() const {
+  return history_.size() >= config_.validator.min_variations + 1;
+}
+
+std::vector<GlobalModel> BaffleDefense::current_window() const {
+  return history_.window(config_.validator.lookback + 1);
+}
+
+Validator* BaffleDefense::client_validator(
+    std::size_t id, const std::vector<FlClient>& clients) {
+  if (auto it = client_validators_.find(id);
+      it != client_validators_.end()) {
+    return &it->second;
+  }
+  if (id >= clients.size()) {
+    throw std::out_of_range("BaffleDefense: unknown client id");
+  }
+  if (clients[id].data().empty()) return nullptr;
+  auto [it, inserted] = client_validators_.try_emplace(
+      id, clients[id].data(), arch_, config_.validator);
+  return &it->second;
+}
+
+Validator* BaffleDefense::server_validator() {
+  return server_validator_ ? &*server_validator_ : nullptr;
+}
+
+FeedbackDecision BaffleDefense::evaluate(
+    const ParamVec& candidate, const std::vector<std::size_t>& validating_ids,
+    const std::vector<FlClient>& clients,
+    const std::unordered_set<std::size_t>& malicious_ids,
+    VoteStrategy strategy) {
+  const std::vector<GlobalModel> window = current_window();
+
+  // Materialize validators serially (map mutation), then vote in
+  // parallel (independent objects).
+  std::vector<Validator*> validators;
+  const bool use_clients = config_.mode != DefenseMode::kServerOnly;
+  if (use_clients) {
+    validators.reserve(validating_ids.size());
+    for (std::size_t id : validating_ids) {
+      validators.push_back(client_validator(id, clients));
+    }
+  }
+
+  std::vector<int> votes(validators.size(), 0);
+  std::vector<ValidationOutcome> outcomes(validators.size());
+  int server_vote = 0;
+  std::size_t abstentions = 0;
+
+  ThreadPool::global().parallel_for(
+      validators.size() + 1, [&](std::size_t i) {
+        if (i == validators.size()) {
+          if (config_.mode != DefenseMode::kClientsOnly &&
+              server_validator_) {
+            server_vote = server_validator_->validate(candidate, window).vote;
+          }
+          return;
+        }
+        if (validators[i] == nullptr) return;  // empty shard: abstain
+        outcomes[i] = validators[i]->validate(candidate, window);
+        votes[i] = outcomes[i].vote;
+      });
+
+  for (std::size_t i = 0; i < validators.size(); ++i) {
+    if (validators[i] == nullptr || outcomes[i].abstained) ++abstentions;
+  }
+
+  const std::vector<int> manipulated =
+      use_clients ? apply_vote_strategy(votes, validating_ids, malicious_ids,
+                                        strategy)
+                  : votes;
+  FeedbackDecision decision =
+      decide_quorum(config_.mode, config_.quorum, manipulated,
+                    use_clients ? validating_ids
+                                : std::vector<std::size_t>{},
+                    server_vote);
+  decision.abstentions = abstentions;
+  return decision;
+}
+
+}  // namespace baffle

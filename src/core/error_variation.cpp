@@ -1,0 +1,40 @@
+#include "core/error_variation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace baffle {
+
+VariationPoint error_variation(const ConfusionMatrix& older,
+                               const ConfusionMatrix& newer) {
+  if (older.num_classes() != newer.num_classes()) {
+    throw std::invalid_argument("error_variation: class count mismatch");
+  }
+  const auto src_old = older.source_focused_errors();
+  const auto src_new = newer.source_focused_errors();
+  const auto tgt_old = older.target_focused_errors();
+  const auto tgt_new = newer.target_focused_errors();
+  VariationPoint v;
+  v.reserve(2 * older.num_classes());
+  for (std::size_t y = 0; y < older.num_classes(); ++y) {
+    v.push_back(src_old[y] - src_new[y]);
+  }
+  for (std::size_t y = 0; y < older.num_classes(); ++y) {
+    v.push_back(tgt_old[y] - tgt_new[y]);
+  }
+  return v;
+}
+
+double variation_distance(const VariationPoint& a, const VariationPoint& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("variation_distance: dim mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace baffle

@@ -1,0 +1,28 @@
+#pragma once
+// Per-class error-variation vectors (Eq. 2–3, Section V).
+//
+// For consecutive models f (older, accepted) and f' (newer) evaluated on
+// the same dataset D:
+//   v^s(f, f', D, y) = err_D(f)^{y→*} − err_D(f')^{y→*}
+//   v^t(f, f', D, y) = err_D(f)^{*→y} − err_D(f')^{*→y}
+// and the error-variation point is v(f, f', D) = [v^s, v^t] ∈ R^{2|Y|}.
+// Under benign training these points cluster (the global model improves
+// gradually); a freshly injected backdoor shifts one or a few classes'
+// rates and lands the point far from the cluster.
+
+#include <vector>
+
+#include "metrics/confusion.hpp"
+
+namespace baffle {
+
+using VariationPoint = std::vector<double>;
+
+/// Builds v(f, f', D) from the two models' confusion matrices on D.
+VariationPoint error_variation(const ConfusionMatrix& older,
+                               const ConfusionMatrix& newer);
+
+/// Euclidean distance between variation points (LOF metric).
+double variation_distance(const VariationPoint& a, const VariationPoint& b);
+
+}  // namespace baffle

@@ -1,0 +1,53 @@
+#include "core/feedback_loop.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace baffle {
+
+const char* defense_mode_name(DefenseMode mode) {
+  switch (mode) {
+    case DefenseMode::kServerOnly: return "BAFFLE-S";
+    case DefenseMode::kClientsOnly: return "BAFFLE-C";
+    case DefenseMode::kClientsAndServer: return "BAFFLE";
+  }
+  return "?";
+}
+
+FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
+                               const std::vector<int>& votes,
+                               const std::vector<std::size_t>& voter_ids,
+                               int server_vote) {
+  if (votes.size() != voter_ids.size()) {
+    throw std::invalid_argument("decide_quorum: votes/ids mismatch");
+  }
+  FeedbackDecision decision;
+  decision.client_votes = votes;
+  decision.client_ids = voter_ids;
+
+  if (mode == DefenseMode::kServerOnly) {
+    decision.server_vote = server_vote;
+    decision.server_voted = true;
+    decision.total_voters = 1;
+    decision.reject_votes = server_vote != 0 ? 1 : 0;
+    decision.reject = server_vote != 0;
+    return decision;
+  }
+
+  std::size_t reject_votes = 0;
+  for (int v : votes) {
+    if (v != 0) ++reject_votes;
+  }
+  decision.total_voters = votes.size();
+  if (mode == DefenseMode::kClientsAndServer) {
+    decision.server_vote = server_vote;
+    decision.server_voted = true;
+    decision.total_voters += 1;
+    if (server_vote != 0) ++reject_votes;
+  }
+  decision.reject_votes = reject_votes;
+  decision.reject = reject_votes >= quorum;
+  return decision;
+}
+
+}  // namespace baffle

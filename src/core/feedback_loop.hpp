@@ -1,0 +1,60 @@
+#pragma once
+// Feedback loop (Algorithm 1): collects validators' verdicts on the
+// candidate global model and applies the quorum rule.
+//
+// Defender configurations (§VI-A):
+//   BAFFLE-S  — only the server validates, on its own holdout; its single
+//               verdict decides.
+//   BAFFLE-C  — n validating clients vote; reject iff ≥ q vote "poisoned".
+//   BAFFLE    — clients + server; the server's vote counts toward q.
+
+#include <unordered_set>
+
+#include "attack/malicious_voter.hpp"
+#include "core/validate.hpp"
+
+namespace baffle {
+
+enum class DefenseMode { kServerOnly, kClientsOnly, kClientsAndServer };
+
+const char* defense_mode_name(DefenseMode mode);
+
+struct FeedbackConfig {
+  DefenseMode mode = DefenseMode::kClientsAndServer;
+  std::size_t quorum = 5;  // q: reject iff this many "poisoned" votes
+  ValidatorConfig validator;
+  /// The server's validator runs with its own τ margin: its verdict can
+  /// decide alone (BAFFLE-S) and its holdout resolves benign jitter far
+  /// more finely than a client shard, so it must be calibrated more
+  /// conservatively than quorum members whose occasional false votes are
+  /// absorbed by the q-of-n rule.
+  double server_tau_margin = 1.5;
+
+  /// The validator configuration the server instance actually uses.
+  ValidatorConfig server_validator() const {
+    ValidatorConfig cfg = validator;
+    cfg.tau_margin = server_tau_margin;
+    return cfg;
+  }
+};
+
+struct FeedbackDecision {
+  bool reject = false;
+  std::size_t reject_votes = 0;  // after malicious-vote manipulation
+  std::size_t total_voters = 0;
+  std::vector<int> client_votes;          // aligned with validator ids
+  std::vector<std::size_t> client_ids;    // who voted
+  int server_vote = 0;
+  bool server_voted = false;
+  std::size_t abstentions = 0;  // validators whose history was too short
+};
+
+/// Tallies votes and applies the quorum rule. `votes`/`voter_ids` are the
+/// clients' verdicts (already subjected to any malicious strategy);
+/// `server_vote` is ignored unless the mode includes the server.
+FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
+                               const std::vector<int>& votes,
+                               const std::vector<std::size_t>& voter_ids,
+                               int server_vote);
+
+}  // namespace baffle

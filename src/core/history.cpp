@@ -1,0 +1,31 @@
+#include "core/history.hpp"
+
+#include <stdexcept>
+
+namespace baffle {
+
+ModelHistory::ModelHistory(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("ModelHistory: capacity 0");
+}
+
+void ModelHistory::push(std::uint64_t version, ParamVec params) {
+  entries_.push_back(GlobalModel{version, std::move(params)});
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<GlobalModel> ModelHistory::window(std::size_t count) const {
+  const std::size_t n = std::min(count, entries_.size());
+  std::vector<GlobalModel> out;
+  out.reserve(n);
+  for (std::size_t i = entries_.size() - n; i < entries_.size(); ++i) {
+    out.push_back(entries_[i]);
+  }
+  return out;
+}
+
+const GlobalModel& ModelHistory::latest() const {
+  if (entries_.empty()) throw std::out_of_range("ModelHistory: empty");
+  return entries_.back();
+}
+
+}  // namespace baffle

@@ -1,0 +1,37 @@
+#pragma once
+// History of accepted global models (the (𝒢^0, …, 𝒢^ℓ) of Algorithm 1).
+//
+// The server appends a snapshot on every *committed* round — rejected
+// proposals never enter the history, which is what bootstraps trust
+// across rounds (§IV-B). Only the most recent `capacity` snapshots are
+// retained; the feedback loop ships the last ℓ+1 to validators.
+
+#include <deque>
+
+#include "fl/server.hpp"
+
+namespace baffle {
+
+class ModelHistory {
+ public:
+  /// `capacity` bounds retention; it must be at least the largest ℓ+1
+  /// any validator will request.
+  explicit ModelHistory(std::size_t capacity);
+
+  void push(std::uint64_t version, ParamVec params);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// The most recent `count` accepted models, oldest first. Returns
+  /// fewer when the history is still short.
+  std::vector<GlobalModel> window(std::size_t count) const;
+
+  const GlobalModel& latest() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<GlobalModel> entries_;
+};
+
+}  // namespace baffle

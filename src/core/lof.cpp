@@ -1,0 +1,79 @@
+#include "core/lof.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace baffle {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Indices of the k nearest reference points to `point`, plus the
+/// k-distance. `skip` excludes one reference index (leave-self-out);
+/// pass SIZE_MAX to keep all.
+struct Neighborhood {
+  std::vector<std::size_t> ids;
+  double k_distance = 0.0;
+};
+
+Neighborhood knn(const VariationPoint& point,
+                 std::span<const VariationPoint> reference, std::size_t k,
+                 std::size_t skip) {
+  std::vector<std::pair<double, std::size_t>> dists;
+  dists.reserve(reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (i == skip) continue;
+    dists.emplace_back(variation_distance(point, reference[i]), i);
+  }
+  std::sort(dists.begin(), dists.end());
+  const std::size_t kk = std::min(k, dists.size());
+  Neighborhood nb;
+  nb.ids.reserve(kk);
+  for (std::size_t i = 0; i < kk; ++i) nb.ids.push_back(dists[i].second);
+  nb.k_distance = kk > 0 ? dists[kk - 1].first : 0.0;
+  return nb;
+}
+
+}  // namespace
+
+double lof_score(const VariationPoint& query,
+                 std::span<const VariationPoint> reference, std::size_t k) {
+  if (reference.size() < 2) {
+    throw std::invalid_argument("lof_score: need >= 2 reference points");
+  }
+  k = std::max<std::size_t>(1, std::min(k, reference.size() - 1));
+
+  // k-distance of every reference point, within the reference set.
+  std::vector<Neighborhood> ref_nb;
+  ref_nb.reserve(reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ref_nb.push_back(knn(reference[i], reference, k, i));
+  }
+
+  auto lrd = [&](const VariationPoint& p, const Neighborhood& nb) {
+    double total = 0.0;
+    for (std::size_t j : nb.ids) {
+      const double d = variation_distance(p, reference[j]);
+      total += std::max(ref_nb[j].k_distance, d);
+    }
+    const double mean_reach =
+        total / static_cast<double>(std::max<std::size_t>(1, nb.ids.size()));
+    return 1.0 / std::max(mean_reach, kEps);
+  };
+
+  const Neighborhood query_nb =
+      knn(query, reference, k, /*skip=*/static_cast<std::size_t>(-1));
+  const double query_lrd = lrd(query, query_nb);
+
+  double neighbor_lrd_sum = 0.0;
+  for (std::size_t j : query_nb.ids) {
+    neighbor_lrd_sum += lrd(reference[j], ref_nb[j]);
+  }
+  const double mean_neighbor_lrd =
+      neighbor_lrd_sum /
+      static_cast<double>(std::max<std::size_t>(1, query_nb.ids.size()));
+  return mean_neighbor_lrd / query_lrd;
+}
+
+}  // namespace baffle

@@ -1,0 +1,32 @@
+#pragma once
+// Local Outlier Factor (Breunig et al., SIGMOD 2000).
+//
+// LOF_k(x; N) compares the local reachability density of x against that
+// of its k nearest neighbors within the reference set N:
+//   k-dist(p)        — distance from p to its k-th nearest neighbor
+//   reach-dist(a,b)  — max(k-dist(b), d(a, b))
+//   lrd(p)           — 1 / mean reach-dist from p to its k-NN
+//   LOF(x)           — mean_{b ∈ kNN(x)} lrd(b) / lrd(x)
+// LOF ≈ 1 for points inside a cluster; LOF >> 1 flags outliers. The
+// reference points' own densities are computed *within N* (leave-self-
+// out), matching the original definition.
+//
+// Reference sets here are tiny (ℓ ≤ 30 variation points), so exact
+// O(n²) neighbor search is the right tool.
+
+#include <span>
+#include <vector>
+
+#include "core/error_variation.hpp"
+
+namespace baffle {
+
+/// LOF of `query` with respect to `reference` (which must not contain
+/// `query` itself). k is clamped to |reference| − 1 ≥ 1; throws if the
+/// reference set has fewer than 2 points. Duplicate/degenerate points
+/// are handled by an epsilon floor on densities (LOF of a point that
+/// coincides with its neighbors is 1).
+double lof_score(const VariationPoint& query,
+                 std::span<const VariationPoint> reference, std::size_t k);
+
+}  // namespace baffle

@@ -1,0 +1,23 @@
+#include "core/prediction_cache.hpp"
+
+namespace baffle {
+
+const ConfusionMatrix* PredictionCache::find(std::uint64_t version) const {
+  const auto it = entries_.find(version);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void PredictionCache::insert(std::uint64_t version, ConfusionMatrix cm) {
+  if (entries_.size() >= max_entries_) {
+    // Versions grow monotonically and the window only looks back ℓ+1
+    // models, so evicting the smallest version is an exact LRU here.
+    auto oldest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first < oldest->first) oldest = it;
+    }
+    entries_.erase(oldest);
+  }
+  entries_.insert_or_assign(version, std::move(cm));
+}
+
+}  // namespace baffle

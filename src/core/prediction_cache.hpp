@@ -1,0 +1,49 @@
+#pragma once
+// Per-validator memoization of model evaluations.
+//
+// Validating a round requires error-variation points between ℓ+1
+// history models on the validator's fixed dataset. History models are
+// immutable and identified by version, so each (version → confusion
+// matrix) pair is computed once per validator and reused across rounds;
+// only the fresh candidate needs a new evaluation each round.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "metrics/confusion.hpp"
+
+namespace baffle {
+
+class PredictionCache {
+ public:
+  explicit PredictionCache(std::size_t max_entries = 256)
+      : max_entries_(max_entries) {}
+
+  const ConfusionMatrix* find(std::uint64_t version) const;
+  void insert(std::uint64_t version, ConfusionMatrix cm);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  /// Lookup-or-evaluate helper; counts hit/miss statistics.
+  template <typename EvalFn>
+  const ConfusionMatrix& get_or_eval(std::uint64_t version, EvalFn&& eval) {
+    if (const auto* found = find(version)) {
+      ++hits_;
+      return *found;
+    }
+    ++misses_;
+    insert(version, eval());
+    return *find(version);
+  }
+
+ private:
+  std::size_t max_entries_;
+  std::unordered_map<std::uint64_t, ConfusionMatrix> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace baffle

@@ -1,0 +1,162 @@
+#include "core/validate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace baffle {
+
+const char* validation_method_name(ValidationMethod method) {
+  switch (method) {
+    case ValidationMethod::kErrorVariationLof: return "error-variation+LOF";
+    case ValidationMethod::kGlobalAccuracyZScore: return "global-accuracy";
+    case ValidationMethod::kVariationNormZScore: return "variation+zscore";
+  }
+  return "?";
+}
+
+std::size_t lof_k_for_lookback(std::size_t lookback) {
+  return (lookback + 1) / 2;  // ⌈ℓ/2⌉
+}
+
+std::size_t tau_window_for_lookback(std::size_t lookback) {
+  return lookback / 4;  // ⌊ℓ/4⌋
+}
+
+Validator::Validator(Dataset data, MlpConfig arch, ValidatorConfig config)
+    : data_(std::move(data)), config_(config), scratch_model_(arch) {
+  if (config.lookback < 2) {
+    throw std::invalid_argument("Validator: lookback < 2");
+  }
+  if (data_.empty()) {
+    throw std::invalid_argument("Validator: empty validation data");
+  }
+}
+
+ConfusionMatrix Validator::evaluate_params(const ParamVec& params) {
+  scratch_model_.set_parameters(params);
+  return evaluate_confusion(scratch_model_, data_);
+}
+
+const ConfusionMatrix& Validator::evaluate_history(
+    const GlobalModel& snapshot) {
+  return cache_.get_or_eval(snapshot.version, [&] {
+    return evaluate_params(snapshot.params);
+  });
+}
+
+namespace {
+
+/// z-score with a degenerate-spread guard: when the history statistic
+/// barely moves, any visible jump is an outlier.
+double guarded_zscore(double value, std::span<const double> history_values) {
+  const double m = mean(history_values);
+  const double s = stddev(history_values);
+  const double floor = 1e-4;
+  return (value - m) / std::max(s, floor);
+}
+
+}  // namespace
+
+ValidationOutcome Validator::validate(const ParamVec& candidate,
+                                      std::span<const GlobalModel> history) {
+  ValidationOutcome outcome;
+
+  // Variation points between consecutive accepted models. A history of
+  // m models yields m-1 points; with the full ℓ+1 window that is ℓ.
+  std::vector<VariationPoint> variations;
+  if (history.size() >= 2) {
+    variations.reserve(history.size() - 1);
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      variations.push_back(error_variation(evaluate_history(history[i - 1]),
+                                           evaluate_history(history[i])));
+    }
+  }
+
+  if (variations.size() < config_.min_variations) {
+    outcome.abstained = true;
+    outcome.vote = 0;
+    return outcome;
+  }
+
+  if (config_.method == ValidationMethod::kGlobalAccuracyZScore) {
+    // Ablation A1: ignore class structure entirely; look only at the
+    // round-to-round change in overall accuracy.
+    std::vector<double> deltas;
+    deltas.reserve(history.size() - 1);
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      deltas.push_back(evaluate_history(history[i]).accuracy() -
+                       evaluate_history(history[i - 1]).accuracy());
+    }
+    const double candidate_delta =
+        evaluate_params(candidate).accuracy() -
+        evaluate_history(history.back()).accuracy();
+    // An anomalous accuracy *drop* is the poisoning signal.
+    outcome.phi = -guarded_zscore(candidate_delta, deltas);
+    outcome.tau = config_.zscore_threshold;
+    outcome.vote = outcome.phi > outcome.tau ? 1 : 0;
+    return outcome;
+  }
+
+  if (config_.method == ValidationMethod::kVariationNormZScore) {
+    // Ablation A2: per-class variation points, but a global z-score on
+    // the point's norm instead of the local-density LOF test.
+    const VariationPoint origin(variations.front().size(), 0.0);
+    std::vector<double> norms;
+    norms.reserve(variations.size());
+    for (const auto& v : variations) {
+      norms.push_back(variation_distance(v, origin));
+    }
+    const VariationPoint candidate_point = error_variation(
+        evaluate_history(history.back()), evaluate_params(candidate));
+    outcome.phi =
+        guarded_zscore(variation_distance(candidate_point, origin), norms);
+    outcome.tau = config_.zscore_threshold;
+    outcome.vote = outcome.phi > outcome.tau ? 1 : 0;
+    return outcome;
+  }
+
+  const std::size_t ell = variations.size();  // effective look-back
+  const std::size_t k = lof_k_for_lookback(ell);
+  const std::size_t tau_window =
+      std::max<std::size_t>(1, tau_window_for_lookback(ell));
+
+  // Candidate's variation point v_{ℓ+1} = v(𝒢^ℓ, G, D).
+  const ConfusionMatrix candidate_cm = evaluate_params(candidate);
+  const VariationPoint candidate_point =
+      error_variation(evaluate_history(history.back()), candidate_cm);
+
+  // τ = mean LOF of the last ⌊ℓ/4⌋ trusted points. Each is scored
+  // leave-one-out against the remaining ℓ−1 variations so its reference
+  // set matches the candidate's (scored against all ℓ): the paper's
+  // listing scores trusted points only against their predecessors, but
+  // that shrinks their reference sets relative to the candidate's and
+  // biases τ low (inflating false positives).
+  double tau_sum = 0.0;
+  std::size_t tau_count = 0;
+  std::vector<VariationPoint> rest;
+  rest.reserve(ell - 1);
+  for (std::size_t i = ell - tau_window; i < ell; ++i) {
+    rest.clear();
+    for (std::size_t j = 0; j < ell; ++j) {
+      if (j != i) rest.push_back(variations[j]);
+    }
+    if (rest.size() < 2) continue;
+    tau_sum += lof_score(variations[i], rest, k);
+    ++tau_count;
+  }
+  if (tau_count == 0) {
+    outcome.abstained = true;
+    outcome.vote = 0;
+    return outcome;
+  }
+  outcome.tau = tau_sum / static_cast<double>(tau_count);
+
+  outcome.phi = lof_score(candidate_point, variations, k);
+  outcome.vote =
+      outcome.phi > config_.tau_margin * outcome.tau ? 1 : 0;
+  return outcome;
+}
+
+}  // namespace baffle

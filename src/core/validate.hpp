@@ -1,0 +1,99 @@
+#pragma once
+// VALIDATE (Algorithm 2): the misclassification-analysis instantiation
+// of the model-validation routine.
+//
+// Given the candidate global model G, the history (𝒢^0, …, 𝒢^ℓ) of
+// recently accepted models, and the validator's private data D:
+//   1. compute the error-variation points v_i = v(𝒢^{i-1}, 𝒢^i, D) for
+//      i = 1..ℓ and the candidate's point v_{ℓ+1} = v(𝒢^ℓ, G, D);
+//   2. score each of the last ⌊ℓ/4⌋ *trusted* points by its LOF against
+//      the points that preceded it, with k = ⌈ℓ/2⌉; their mean is the
+//      rejection threshold τ;
+//   3. vote "poisoned" iff LOF(v_{ℓ+1}) > τ.
+//
+// Any entity holding labelled data can run this — clients on their local
+// shards (BAFFLE-C), the server on its holdout (BAFFLE-S), or both
+// (BAFFLE) — and the adaptive attacker reuses it verbatim as its
+// self-check (src/attack/adaptive.hpp).
+
+#include <span>
+
+#include "core/history.hpp"
+#include "core/lof.hpp"
+#include "core/prediction_cache.hpp"
+
+namespace baffle {
+
+/// Detection statistic (ablations of the paper's design choice; the
+/// paper's method is kErrorVariationLof).
+enum class ValidationMethod {
+  /// Per-class error-variation point scored by LOF (Algorithm 2).
+  kErrorVariationLof,
+  /// Ablation A1: plain global-accuracy deltas, z-score threshold —
+  /// the "measure model accuracy" strawman the paper argues a backdoor
+  /// can be optimized to evade.
+  kGlobalAccuracyZScore,
+  /// Ablation A2: same per-class variation points, but flagged by the
+  /// z-score of the point's norm instead of LOF.
+  kVariationNormZScore,
+};
+
+const char* validation_method_name(ValidationMethod method);
+
+struct ValidatorConfig {
+  /// Look-back window ℓ: how many accepted models inform the decision.
+  std::size_t lookback = 20;
+  /// Minimum usable history (ℓ+1 models → ℓ variation points). With
+  /// fewer than `min_variations` points the validator abstains (votes
+  /// "clean"): there is not yet a trend to deviate from.
+  std::size_t min_variations = 6;
+  ValidationMethod method = ValidationMethod::kErrorVariationLof;
+  /// z-score cutoff for the ablation methods.
+  double zscore_threshold = 2.5;
+  /// Calibration margin on the LOF rejection rule: vote "poisoned" iff
+  /// φ > tau_margin·τ. τ is the mean LOF of recent *trusted* points, so
+  /// with margin 1 roughly half of all benign rounds on a large, finely
+  /// resolved validation set sit above it; a small margin restores the
+  /// paper's benign false-vote rate while leaving the order-of-magnitude
+  /// LOF spikes of poisoned updates detectable.
+  double tau_margin = 1.3;
+};
+
+struct ValidationOutcome {
+  int vote = 0;          // 1 = poisoned, 0 = clean
+  double phi = 0.0;      // LOF of the candidate's variation point
+  double tau = 0.0;      // rejection threshold
+  bool abstained = false;  // history too short to judge
+};
+
+class Validator {
+ public:
+  /// `data` is the validator's private labelled dataset D_i; `arch` must
+  /// match the global model (needed to materialize parameter vectors).
+  Validator(Dataset data, MlpConfig arch, ValidatorConfig config);
+
+  /// Runs Algorithm 2. `history` is oldest→newest (up to ℓ+1 models,
+  /// from ModelHistory::window). Confusion matrices for history models
+  /// are cached across rounds by version.
+  ValidationOutcome validate(const ParamVec& candidate,
+                             std::span<const GlobalModel> history);
+
+  const Dataset& data() const { return data_; }
+  const PredictionCache& cache() const { return cache_; }
+  const ValidatorConfig& config() const { return config_; }
+
+ private:
+  ConfusionMatrix evaluate_params(const ParamVec& params);
+  const ConfusionMatrix& evaluate_history(const GlobalModel& snapshot);
+
+  Dataset data_;
+  ValidatorConfig config_;
+  Mlp scratch_model_;  // reused for every evaluation
+  PredictionCache cache_;
+};
+
+/// Parameters of Algorithm 2 as pure functions (unit-tested directly).
+std::size_t lof_k_for_lookback(std::size_t lookback);      // ⌈ℓ/2⌉
+std::size_t tau_window_for_lookback(std::size_t lookback);  // ⌊ℓ/4⌋
+
+}  // namespace baffle

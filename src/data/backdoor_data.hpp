@@ -1,0 +1,37 @@
+#pragma once
+// Backdoor task specification and poisoned-training-set construction.
+//
+// Model replacement (Bagdasaryan et al.) trains the attacker's local
+// model on a *blend* of correctly-labelled data (to keep main-task
+// accuracy) and backdoor instances relabelled to the target class (the
+// adversarial sub-task).
+
+#include "data/synth.hpp"
+
+namespace baffle {
+
+struct BackdoorTask {
+  BackdoorKind kind = BackdoorKind::kSemantic;
+  int source_class = 1;
+  int target_class = 2;
+};
+
+/// Relabels every example of `backdoor_pool` to the target class.
+Dataset relabel_to_target(const Dataset& backdoor_pool,
+                          const BackdoorTask& task);
+
+/// Attacker's local training set: the attacker's clean shard blended
+/// with `poison_fraction` backdoor samples (relabelled to target).
+/// The backdoor pool is resampled (with replacement if needed) to hit
+/// the requested fraction of the final set.
+Dataset make_poisoned_training_set(const Dataset& attacker_clean,
+                                   const Dataset& backdoor_pool,
+                                   const BackdoorTask& task,
+                                   double poison_fraction, Rng& rng);
+
+/// For label-flip backdoors the paper picks the source as the class "so
+/// that the adversary has most data" and the target uniformly among the
+/// remaining classes.
+BackdoorTask pick_label_flip_task(const Dataset& attacker_data, Rng& rng);
+
+}  // namespace baffle

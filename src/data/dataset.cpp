@@ -1,0 +1,92 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace baffle {
+
+void Dataset::add(Example ex) {
+  if (ex.x.size() != dim_) {
+    throw std::invalid_argument("Dataset::add: feature dim mismatch");
+  }
+  if (ex.y < 0 || static_cast<std::size_t>(ex.y) >= num_classes_) {
+    throw std::invalid_argument("Dataset::add: label out of range");
+  }
+  examples_.push_back(std::move(ex));
+}
+
+Matrix Dataset::features() const {
+  Matrix m(examples_.size(), dim_);
+  for (std::size_t i = 0; i < examples_.size(); ++i) {
+    auto row = m.row(i);
+    std::copy(examples_[i].x.begin(), examples_[i].x.end(), row.begin());
+  }
+  return m;
+}
+
+std::vector<int> Dataset::labels() const {
+  std::vector<int> out(examples_.size());
+  for (std::size_t i = 0; i < examples_.size(); ++i) out[i] = examples_[i].y;
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (const auto& ex : examples_) {
+    counts[static_cast<std::size_t>(ex.y)]++;
+  }
+  return counts;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(dim_, num_classes_);
+  for (std::size_t i : indices) {
+    if (i >= examples_.size()) {
+      throw std::out_of_range("Dataset::subset: index out of range");
+    }
+    out.examples_.push_back(examples_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::filter_class(int y) const {
+  Dataset out(dim_, num_classes_);
+  for (const auto& ex : examples_) {
+    if (ex.y == y) out.examples_.push_back(ex);
+  }
+  return out;
+}
+
+void Dataset::merge(const Dataset& other) {
+  if (other.dim_ != dim_ || other.num_classes_ != num_classes_) {
+    throw std::invalid_argument("Dataset::merge: incompatible datasets");
+  }
+  examples_.insert(examples_.end(), other.examples_.begin(),
+                   other.examples_.end());
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double fraction, Rng& rng) const {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("Dataset::split: fraction out of range");
+  }
+  std::vector<std::size_t> order(examples_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  const auto cut = static_cast<std::size_t>(
+      fraction * static_cast<double>(examples_.size()) + 0.5);
+  Dataset first(dim_, num_classes_), second(dim_, num_classes_);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (i < cut ? first : second).examples_.push_back(examples_[order[i]]);
+  }
+  return {std::move(first), std::move(second)};
+}
+
+Dataset Dataset::sample(std::size_t k, Rng& rng) const {
+  const auto idx = rng.sample_without_replacement(examples_.size(), k);
+  return subset(idx);
+}
+
+void Dataset::shuffle(Rng& rng) { rng.shuffle(examples_); }
+
+}  // namespace baffle

@@ -1,0 +1,67 @@
+#pragma once
+// Labelled dataset container plus the conversions the training loop and
+// the metrics layer need.
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace baffle {
+
+struct Example {
+  std::vector<float> x;
+  int y = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::size_t dim, std::size_t num_classes)
+      : dim_(dim), num_classes_(num_classes) {}
+
+  std::size_t dim() const { return dim_; }
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+
+  const Example& operator[](std::size_t i) const { return examples_[i]; }
+  const std::vector<Example>& examples() const { return examples_; }
+
+  /// Appends an example; validates feature dim and label range.
+  void add(Example ex);
+
+  /// Dense feature matrix (one sample per row).
+  Matrix features() const;
+
+  /// Integer labels, aligned with features() rows.
+  std::vector<int> labels() const;
+
+  /// Per-class sample counts (length = num_classes).
+  std::vector<std::size_t> class_counts() const;
+
+  /// New dataset containing the examples at `indices`.
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// New dataset with only the examples of class y.
+  Dataset filter_class(int y) const;
+
+  /// Appends all examples of `other` (same dim/num_classes required).
+  void merge(const Dataset& other);
+
+  /// Random split: first part gets `fraction` of the examples.
+  std::pair<Dataset, Dataset> split(double fraction, Rng& rng) const;
+
+  /// Uniformly sampled subset of k examples (k <= size).
+  Dataset sample(std::size_t k, Rng& rng) const;
+
+  void shuffle(Rng& rng);
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t num_classes_ = 0;
+  std::vector<Example> examples_;
+};
+
+}  // namespace baffle

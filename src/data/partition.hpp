@@ -1,0 +1,39 @@
+#pragma once
+// Splitting the global training pool across the FL participants.
+//
+// The paper assigns data to clients "according to the Dirichlet
+// distribution with hyper-parameter 0.9" (Minka 2000 / Bagdasaryan et
+// al.), making clients' class distributions unbalanced, and studies
+// client/server splits C-S% where the server keeps S% of the data as its
+// own validation holdout.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace baffle {
+
+/// Per-class Dirichlet partition: for every class, proportions over the
+/// n clients are drawn from Dir(alpha) and that class's samples are
+/// dealt out accordingly. Smaller alpha -> more skewed clients.
+std::vector<Dataset> dirichlet_partition(const Dataset& data,
+                                         std::size_t num_clients,
+                                         double alpha, Rng& rng);
+
+/// Uniform random partition into equal-size shards (the IID baseline for
+/// the non-IID ablation).
+std::vector<Dataset> iid_partition(const Dataset& data,
+                                   std::size_t num_clients, Rng& rng);
+
+/// Client/server split of the training pool: the server keeps
+/// `server_fraction` of the data (its validation holdout for BAFFLE-S /
+/// BAFFLE), clients share the rest.
+struct ClientServerSplit {
+  Dataset client_pool;
+  Dataset server_holdout;
+};
+
+ClientServerSplit split_client_server(const Dataset& data,
+                                      double server_fraction, Rng& rng);
+
+}  // namespace baffle

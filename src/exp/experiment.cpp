@@ -1,0 +1,364 @@
+#include "exp/experiment.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "attack/backdoor.hpp"
+#include "attack/dba.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace baffle {
+
+namespace {
+
+/// Defense-aware attacker (Table II / Fig. 5): reuses the defense's own
+/// Validator on the attacker's local data as the self-check for
+/// craft_adaptive_update. Falls back to an honest update when no scale
+/// α passes (the attacker sits the round out).
+class AdaptiveProvider final : public UpdateProvider {
+ public:
+  AdaptiveProvider(HonestUpdateProvider honest, std::size_t attacker_id,
+                   Dataset attacker_clean, Dataset backdoor_pool,
+                   AdaptiveAttackConfig config, MlpConfig arch,
+                   ValidatorConfig validator_config,
+                   const BaffleDefense* defense)
+      : honest_(std::move(honest)),
+        attacker_id_(attacker_id),
+        attacker_clean_(attacker_clean),
+        backdoor_pool_(std::move(backdoor_pool)),
+        config_(std::move(config)),
+        defense_(defense),
+        self_validator_(std::move(attacker_clean), std::move(arch),
+                        validator_config) {}
+
+  void arm(bool poison) { armed_ = poison; }
+  bool submitted() const { return submitted_; }
+  double alpha() const { return alpha_; }
+
+  ParamVec update_for(std::size_t client_id, const Mlp& global,
+                      Rng& rng) override {
+    if (client_id != attacker_id_ || !armed_) {
+      return honest_.update_for(client_id, global, rng);
+    }
+    const auto window = defense_->current_window();
+    const AttackerSideCheck check = [&](const ParamVec& candidate) {
+      const ValidationOutcome o =
+          self_validator_.validate(candidate, window);
+      if (o.abstained) return false;  // no basis to judge: stay silent
+      return o.phi <= config_.self_check_margin * o.tau;
+    };
+    const auto crafted = craft_adaptive_update(
+        global, attacker_clean_, backdoor_pool_, config_, check, rng);
+    if (!crafted) {
+      submitted_ = false;
+      alpha_ = 0.0;
+      return honest_.update_for(client_id, global, rng);
+    }
+    submitted_ = true;
+    alpha_ = crafted->alpha;
+    return crafted->update;
+  }
+
+ private:
+  HonestUpdateProvider honest_;
+  std::size_t attacker_id_;
+  Dataset attacker_clean_;
+  Dataset backdoor_pool_;
+  AdaptiveAttackConfig config_;
+  const BaffleDefense* defense_;
+  Validator self_validator_;
+  bool armed_ = false;
+  bool submitted_ = false;
+  double alpha_ = 0.0;
+};
+
+/// Draws `n` samples from `pool` with per-class probabilities
+/// proportional to `weights` — used to enlarge the attacker's dataset
+/// while PRESERVING its non-IID skew: a realistic powerful attacker has
+/// more data, not a uniform view of everyone's data (which no FL client
+/// has). The residual bias is what lets honest validators catch
+/// injections the attacker's self-check approves (§VI-C).
+Dataset biased_sample(const Dataset& pool,
+                      const std::vector<std::size_t>& weights, std::size_t n,
+                      Rng& rng) {
+  std::vector<std::vector<std::size_t>> by_class(pool.num_classes());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    by_class[static_cast<std::size_t>(pool[i].y)].push_back(i);
+  }
+  std::vector<double> w(weights.size(), 0.0);
+  for (std::size_t c = 0; c < weights.size(); ++c) {
+    if (!by_class[c].empty()) w[c] = static_cast<double>(weights[c]);
+  }
+  Dataset out(pool.dim(), pool.num_classes());
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  if (total <= 0.0) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = rng.categorical(w);
+    const auto& pool_c = by_class[c];
+    out.add(pool[pool_c[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(pool_c.size()) - 1))]]);
+  }
+  return out;
+}
+
+void ensure_member(std::vector<std::size_t>& ids, std::size_t member,
+                   Rng& rng) {
+  for (std::size_t id : ids) {
+    if (id == member) return;
+  }
+  const auto slot = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+  ids[slot] = member;
+}
+
+/// Forces every id in `members` into the selection, never displacing a
+/// previously-placed member.
+void ensure_members(std::vector<std::size_t>& ids,
+                    const std::vector<std::size_t>& members) {
+  if (members.size() > ids.size()) {
+    throw std::invalid_argument("ensure_members: too many members");
+  }
+  for (std::size_t member : members) {
+    if (std::find(ids.begin(), ids.end(), member) != ids.end()) continue;
+    for (auto& slot : ids) {
+      if (std::find(members.begin(), members.end(), slot) ==
+          members.end()) {
+        slot = member;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario = build_scenario(config.scenario, rng);
+  FlServer server(scenario.arch, scenario.fl, rng.next_u64());
+
+  // Stable-model scenario: centralized pre-training stands in for the
+  // paper's 10,000 clean FL rounds (DESIGN.md §2).
+  if (config.stable_start) {
+    TrainConfig pre;
+    pre.epochs = config.pretrain_epochs;
+    pre.batch_size = 64;
+    pre.sgd.learning_rate = 0.05f;
+    Rng pre_rng = rng.fork();
+    train_sgd(server.global_model(), scenario.task.train.features(),
+              scenario.task.train.labels(), pre, pre_rng);
+  }
+
+  BaffleDefense defense(scenario.arch, config.feedback,
+                        scenario.server_holdout);
+  defense.on_commit(server.version(), server.global_model().parameters());
+
+  // Attacker wiring. The attacker's clean pool is its shard plus the
+  // configured auxiliary samples (see ExperimentConfig).
+  const std::size_t attacker = scenario.attacker_id;
+  Dataset attacker_clean = scenario.clients[attacker].data();
+  if (config.attack_aux_samples > 0 && !attacker_clean.empty()) {
+    // Smoothed weights: mostly the attacker's own class mix, plus a
+    // floor so it sees at least some of every class it already holds.
+    auto weights = attacker_clean.class_counts();
+    for (auto& c : weights) {
+      if (c > 0) c += 1;
+    }
+    attacker_clean.merge(biased_sample(scenario.task.train, weights,
+                                       config.attack_aux_samples, rng));
+  }
+  HonestUpdateProvider honest(&scenario.clients, scenario.fl.local_train);
+
+  ModelReplacementConfig replacement;
+  replacement.task = scenario.backdoor;
+  replacement.poison_fraction = config.attack_poison_fraction;
+  replacement.boost =
+      config.attack_boost > 0.0
+          ? config.attack_boost
+          : static_cast<double>(scenario.fl.total_clients) /
+                scenario.fl.global_lr;
+  replacement.train = scenario.fl.local_train;
+  replacement.train.epochs = config.attack_epochs;
+  replacement.train.sgd.learning_rate = config.attack_learning_rate;
+
+  std::unique_ptr<MaliciousUpdateProvider> malicious;
+  std::unique_ptr<AdaptiveProvider> adaptive;
+  std::unique_ptr<DbaUpdateProvider> dba;
+  if (config.use_dba) {
+    if (config.schedule.adaptive) {
+      throw std::invalid_argument("run_experiment: DBA cannot be adaptive");
+    }
+    if (scenario.backdoor.kind != BackdoorKind::kTrigger) {
+      throw std::invalid_argument(
+          "run_experiment: DBA requires a trigger-patch backdoor");
+    }
+    // Colluders: the m clients with the most data (each needs enough to
+    // train a meaningful slice model).
+    std::vector<std::size_t> order(scenario.clients.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return scenario.clients[a].data().size() >
+             scenario.clients[b].data().size();
+    });
+    std::vector<std::size_t> colluders(
+        order.begin(),
+        order.begin() + static_cast<std::ptrdiff_t>(config.dba_colluders));
+    std::vector<Dataset> colluder_data;
+    colluder_data.reserve(colluders.size());
+    for (std::size_t id : colluders) {
+      colluder_data.push_back(scenario.clients[id].data());
+    }
+    DbaConfig dcfg;
+    dcfg.num_parts = config.dba_colluders;
+    dcfg.target_class = scenario.backdoor.target_class;
+    dcfg.poison_fraction = config.attack_poison_fraction;
+    // Split the replacement boost across the colluders.
+    dcfg.per_client_boost =
+        replacement.boost / static_cast<double>(config.dba_colluders);
+    dcfg.train = replacement.train;
+    dba = std::make_unique<DbaUpdateProvider>(
+        honest, colluders, std::move(colluder_data),
+        trigger_pattern(scenario.task.config), dcfg);
+  } else if (config.schedule.adaptive) {
+    AdaptiveAttackConfig acfg = config.adaptive;
+    acfg.replacement = replacement;
+    // Adaptive stealth: lighter poison blend unless caller overrode it.
+    if (config.adaptive.replacement.poison_fraction ==
+        ModelReplacementConfig{}.poison_fraction) {
+      acfg.replacement.poison_fraction =
+          std::min(0.2, replacement.poison_fraction);
+    }
+    adaptive = std::make_unique<AdaptiveProvider>(
+        honest, attacker, attacker_clean, scenario.task.backdoor_train, acfg,
+        scenario.arch, config.feedback.validator, &defense);
+  } else {
+    malicious = std::make_unique<MaliciousUpdateProvider>(
+        honest, attacker, attacker_clean, scenario.task.backdoor_train,
+        replacement);
+  }
+  UpdateProvider& provider =
+      dba ? static_cast<UpdateProvider&>(*dba)
+          : (adaptive ? static_cast<UpdateProvider&>(*adaptive)
+                      : static_cast<UpdateProvider&>(*malicious));
+  std::unordered_set<std::size_t> malicious_ids{attacker};
+  if (dba) {
+    malicious_ids.clear();
+    malicious_ids.insert(dba->colluders().begin(), dba->colluders().end());
+  }
+
+  const ClientSampler sampler(scenario.fl.total_clients,
+                              scenario.fl.clients_per_round);
+  ExperimentResult result;
+  result.rounds.reserve(config.rounds);
+
+  for (std::size_t r = 1; r <= config.rounds; ++r) {
+    const bool scheduled = config.schedule.is_poison_round(r);
+    std::vector<std::size_t> contributors = sampler.sample_round(rng);
+    if (scheduled) {
+      if (dba) {
+        ensure_members(contributors, dba->colluders());
+      } else {
+        ensure_member(contributors, attacker, rng);
+      }
+    }
+    if (adaptive) adaptive->arm(scheduled);
+    if (malicious) malicious->arm(scheduled);
+    if (dba) dba->arm(scheduled);
+
+    const auto proposal =
+        server.propose_round_with(contributors, provider, rng);
+
+    const bool injected =
+        scheduled && (!adaptive || adaptive->submitted());
+    if (scheduled && adaptive && !adaptive->submitted()) {
+      ++result.adaptive_skipped;
+    }
+
+    const bool active = config.defense_enabled &&
+                        r >= config.defense_start && defense.ready();
+    FeedbackDecision decision;
+    if (active) {
+      // Validating set: the contributors (§VI-D optimization) or an
+      // independently sampled set (Algorithm 1's original form).
+      std::vector<std::size_t> validators =
+          config.separate_validators ? sampler.sample_round(rng)
+                                     : contributors;
+      if (config.validator_dropout > 0.0) {
+        std::erase_if(validators, [&](std::size_t) {
+          return rng.bernoulli(config.validator_dropout);
+        });
+      }
+      decision = defense.evaluate(proposal.candidate_params, validators,
+                                  scenario.clients, malicious_ids,
+                                  config.malicious_vote);
+    }
+
+    const bool rejected = active && decision.reject;
+    if (rejected) {
+      server.discard(proposal);
+    } else {
+      server.commit(proposal);
+      defense.on_commit(server.version(), proposal.candidate_params);
+    }
+
+    RoundRecord record;
+    record.round = r;
+    record.defense_active = active;
+    record.poisoned = injected;
+    record.rejected = rejected;
+    record.reject_votes = decision.reject_votes;
+    record.num_validators = decision.total_voters;
+    if (config.track_accuracy) {
+      record.main_accuracy = evaluate_confusion(server.global_model(),
+                                                scenario.task.test)
+                                 .accuracy();
+      record.backdoor_accuracy =
+          backdoor_accuracy(server.global_model(), scenario.task.backdoor_test,
+                            scenario.backdoor.target_class);
+    }
+    result.rounds.push_back(record);
+
+    if (injected) {
+      InjectionRecord inj;
+      inj.round = r;
+      inj.adaptive = config.schedule.adaptive;
+      inj.alpha = adaptive ? adaptive->alpha() : 1.0;
+      inj.rejected = rejected;
+      inj.reject_votes = decision.reject_votes;
+      inj.total_voters = decision.total_voters;
+      result.injections.push_back(inj);
+    }
+  }
+
+  result.rates = compute_detection_rates(result.rounds);
+  if (!result.rounds.empty() && config.track_accuracy) {
+    result.final_main_accuracy = result.rounds.back().main_accuracy;
+    result.final_backdoor_accuracy = result.rounds.back().backdoor_accuracy;
+  }
+  return result;
+}
+
+RepeatedResult run_repeated(const ExperimentConfig& config, std::size_t reps,
+                            std::uint64_t base_seed) {
+  if (reps == 0) throw std::invalid_argument("run_repeated: reps == 0");
+  RepeatedResult out;
+  out.runs.resize(reps);
+  ThreadPool::global().parallel_for(reps, [&](std::size_t i) {
+    out.runs[i] = run_experiment(config, base_seed + i);
+  });
+  std::vector<double> fps, fns;
+  fps.reserve(reps);
+  fns.reserve(reps);
+  for (const auto& run : out.runs) {
+    fps.push_back(run.rates.fp_rate);
+    fns.push_back(run.rates.fn_rate);
+  }
+  out.fp = mean_std(fps);
+  out.fn = mean_std(fns);
+  return out;
+}
+
+}  // namespace baffle

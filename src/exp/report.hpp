@@ -1,0 +1,41 @@
+#pragma once
+// Report formatting shared by the bench binaries: paper-style
+// "mean ± std" cells, aligned text tables, and environment knobs for
+// scaling bench workloads.
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace baffle {
+
+/// "0.021 ± 0.017" (matching the paper's table cells).
+std::string format_mean_std(const MeanStd& value, int precision = 3);
+
+std::string format_rate(double value, int precision = 3);
+
+/// Fixed-width text table: first row is the header.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void row(std::vector<std::string> cells);
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  std::size_t width_;
+};
+
+/// Number of repeated runs per configuration. Reads BAFFLE_BENCH_REPS
+/// (default 3; the paper uses 5).
+std::size_t bench_reps();
+
+/// BAFFLE_BENCH_FAST=1 shrinks workloads for smoke runs.
+bool bench_fast();
+
+/// Standard bench banner: experiment id, paper reference, knob values.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace baffle

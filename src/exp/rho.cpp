@@ -1,0 +1,36 @@
+#include "exp/rho.hpp"
+
+#include <algorithm>
+
+#include "attack/malicious_voter.hpp"
+
+namespace baffle {
+
+RhoEstimate estimate_rho(const std::vector<ExperimentResult>& runs) {
+  RhoEstimate estimate;
+  double mean_total = 0.0;
+  std::size_t voters = 0;
+  for (const auto& run : runs) {
+    for (const auto& inj : run.injections) {
+      if (inj.total_voters == 0) continue;
+      const double wrong =
+          static_cast<double>(inj.total_voters - inj.reject_votes) /
+          static_cast<double>(inj.total_voters);
+      estimate.rho = std::max(estimate.rho, wrong);
+      mean_total += wrong;
+      ++estimate.injections;
+      voters = std::max(voters, inj.total_voters);
+    }
+  }
+  if (estimate.injections > 0) {
+    estimate.mean_rho =
+        mean_total / static_cast<double>(estimate.injections);
+  }
+  if (voters > 0 && estimate.rho < 1.0) {
+    estimate.tolerable_malicious =
+        max_tolerable_malicious(voters, estimate.rho);
+  }
+  return estimate;
+}
+
+}  // namespace baffle

@@ -1,0 +1,31 @@
+#pragma once
+// Empirical ρ estimation (§IV-B / §VI-C closing analysis).
+//
+// ρ is the worst-case fraction of honest validators that misjudge a
+// poisoned model. The paper reads it off Figure 5's vote distribution
+// ("at most 5 clients provide a wrong assessment ... i.e., ρ = 0.5")
+// and derives the tolerable Byzantine count n_M < (1−ρ)n/(2−ρ). These
+// helpers compute both from recorded injections.
+
+#include "exp/experiment.hpp"
+
+namespace baffle {
+
+struct RhoEstimate {
+  /// Worst-case fraction of honest validators that voted "clean" on a
+  /// poisoned model, over all recorded injections.
+  double rho = 0.0;
+  /// Mean fraction (less conservative than the worst case).
+  double mean_rho = 0.0;
+  /// Largest n_M satisfying (1−ρ)(n−n_M) > n_M for the worst-case ρ and
+  /// the observed validator count.
+  std::size_t tolerable_malicious = 0;
+  std::size_t injections = 0;
+};
+
+/// Estimates ρ from the injections of one or more experiment runs.
+/// Injections with no voters are skipped; returns a zero estimate when
+/// nothing is usable.
+RhoEstimate estimate_rho(const std::vector<ExperimentResult>& runs);
+
+}  // namespace baffle

@@ -1,0 +1,27 @@
+#include "exp/schedule.hpp"
+
+#include <algorithm>
+
+namespace baffle {
+
+bool AttackSchedule::is_poison_round(std::size_t round) const {
+  return std::find(poison_rounds.begin(), poison_rounds.end(), round) !=
+         poison_rounds.end();
+}
+
+AttackSchedule AttackSchedule::stable_scenario() {
+  AttackSchedule s;
+  s.poison_rounds = {30, 35, 40};
+  return s;
+}
+
+AttackSchedule AttackSchedule::early_scenario() {
+  AttackSchedule s;
+  s.poison_rounds = {100, 300};
+  for (std::size_t r = 530; r <= 680; r += 15) s.poison_rounds.push_back(r);
+  return s;
+}
+
+AttackSchedule AttackSchedule::none() { return {}; }
+
+}  // namespace baffle

@@ -1,0 +1,31 @@
+#pragma once
+// Attack schedules: in which rounds the adversary injects a poisoned
+// update (§VI-B "Poisoning time").
+
+#include <cstddef>
+#include <vector>
+
+namespace baffle {
+
+struct AttackSchedule {
+  std::vector<std::size_t> poison_rounds;  // 1-based round numbers
+  bool adaptive = false;  // defense-aware injections (§VI-C / Table II)
+
+  bool is_poison_round(std::size_t round) const;
+
+  /// Scenario (1): stable model; 20 clean warm-up rounds, injections at
+  /// rounds 30, 35, 40, run ends at round 50.
+  static AttackSchedule stable_scenario();
+
+  /// Scenario (2): from-scratch training; injections at rounds 100 and
+  /// 300 (before the defense is enabled at 530), then every 15 rounds in
+  /// [530, 680]. (Fig. 4's caption says "550, then every 15 rounds"; the
+  /// text says 530 — we follow the text, which yields 11 late
+  /// injections.)
+  static AttackSchedule early_scenario();
+
+  /// No injections (FP-only measurement).
+  static AttackSchedule none();
+};
+
+}  // namespace baffle

@@ -1,0 +1,35 @@
+#include "fl/aggregator.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+FedAvgAggregator::FedAvgAggregator(double global_lr,
+                                   std::size_t total_clients)
+    : global_lr_(global_lr), total_clients_(total_clients) {
+  if (global_lr <= 0.0) {
+    throw std::invalid_argument("FedAvgAggregator: global_lr <= 0");
+  }
+  if (total_clients == 0) {
+    throw std::invalid_argument("FedAvgAggregator: total_clients == 0");
+  }
+}
+
+ParamVec FedAvgAggregator::aggregate(
+    const std::vector<ParamVec>& updates) const {
+  ParamVec delta = sum_updates(updates);
+  scale(delta, static_cast<float>(global_lr_ /
+                                  static_cast<double>(total_clients_)));
+  return delta;
+}
+
+double FedAvgAggregator::replacement_boost(
+    std::size_t clients_per_round) const {
+  (void)clients_per_round;  // γ = N/λ: the sum in the aggregation rule is
+                            // not divided by n, so n does not appear.
+  return static_cast<double>(total_clients_) / global_lr_;
+}
+
+}  // namespace baffle

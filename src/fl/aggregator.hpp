@@ -1,0 +1,51 @@
+#pragma once
+// Server-side aggregation of client updates into a global-model delta.
+//
+// FedAvg follows the paper's rule G' = G + (λ/N) Σ_i U_i where λ is the
+// global learning rate and N the total client population; λ = N/n fully
+// replaces G with the average of the n local models. The Byzantine-
+// robust aggregators live in src/baselines and share this interface —
+// note that every one of them needs the *individual* updates, which is
+// exactly why the paper rules them out under secure aggregation.
+
+#include <string_view>
+
+#include "fl/update.hpp"
+
+namespace baffle {
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Combines the round's updates into one delta to add to the global
+  /// parameters. Throws std::invalid_argument on empty/ragged input.
+  virtual ParamVec aggregate(const std::vector<ParamVec>& updates) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+class FedAvgAggregator final : public Aggregator {
+ public:
+  /// `global_lr` is λ; `total_clients` is N.
+  FedAvgAggregator(double global_lr, std::size_t total_clients);
+
+  ParamVec aggregate(const std::vector<ParamVec>& updates) const override;
+  std::string_view name() const override { return "fedavg"; }
+
+  double global_lr() const { return global_lr_; }
+  std::size_t total_clients() const { return total_clients_; }
+
+  /// The model-replacement boost factor γ = N/λ for the aggregation rule
+  /// G' = G + (λ/N) Σ U_i: scaling a single update by γ makes the
+  /// aggregated global model equal the attacker's local model (plus the
+  /// other clients' small contributions). (Bagdasaryan et al. write this
+  /// as γ = N/(ηn) for their G + (η/n) Σ U rule — same quantity.)
+  double replacement_boost(std::size_t clients_per_round) const;
+
+ private:
+  double global_lr_;
+  std::size_t total_clients_;
+};
+
+}  // namespace baffle

@@ -1,0 +1,29 @@
+#include "fl/client.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+ParamVec FlClient::compute_update(const Mlp& global, const TrainConfig& config,
+                                  Rng& rng) const {
+  if (data_.empty()) {
+    return ParamVec(global.num_params(), 0.0f);
+  }
+  Mlp local = global;
+  const Matrix x = data_.features();
+  const auto labels = data_.labels();
+  train_sgd(local, x, labels, config, rng);
+  return subtract(local.parameters(), global.parameters());
+}
+
+ParamVec HonestUpdateProvider::update_for(std::size_t client_id,
+                                          const Mlp& global, Rng& rng) {
+  if (client_id >= clients_->size()) {
+    throw std::out_of_range("HonestUpdateProvider: unknown client");
+  }
+  return (*clients_)[client_id].compute_update(global, config_, rng);
+}
+
+}  // namespace baffle

@@ -1,0 +1,54 @@
+#pragma once
+// FL client: owns a private shard and produces local-training updates.
+
+#include "data/dataset.hpp"
+#include "fl/update.hpp"
+#include "nn/train.hpp"
+
+namespace baffle {
+
+class FlClient {
+ public:
+  FlClient(std::size_t id, Dataset data)
+      : id_(id), data_(std::move(data)) {}
+
+  std::size_t id() const { return id_; }
+  const Dataset& data() const { return data_; }
+
+  /// Trains a copy of the global model on the local shard for the
+  /// configured number of epochs and returns the update U = L - G.
+  /// A client with no data returns a zero update.
+  ParamVec compute_update(const Mlp& global, const TrainConfig& config,
+                          Rng& rng) const;
+
+ private:
+  std::size_t id_;
+  Dataset data_;
+};
+
+/// Round-level source of client updates. The honest implementation
+/// trains locally; the attack module substitutes poisoned updates for
+/// adversary-controlled ids.
+class UpdateProvider {
+ public:
+  virtual ~UpdateProvider() = default;
+  /// Produces the update client `client_id` submits for this round.
+  virtual ParamVec update_for(std::size_t client_id, const Mlp& global,
+                              Rng& rng) = 0;
+};
+
+class HonestUpdateProvider : public UpdateProvider {
+ public:
+  HonestUpdateProvider(const std::vector<FlClient>* clients,
+                       TrainConfig config)
+      : clients_(clients), config_(config) {}
+
+  ParamVec update_for(std::size_t client_id, const Mlp& global,
+                      Rng& rng) override;
+
+ private:
+  const std::vector<FlClient>* clients_;
+  TrainConfig config_;
+};
+
+}  // namespace baffle

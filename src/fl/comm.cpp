@@ -1,0 +1,54 @@
+#include "fl/comm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace baffle {
+
+namespace {
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+}
+
+CommTracker::CommTracker(std::size_t num_clients, std::size_t model_bytes,
+                         std::size_t history_len, double compression)
+    : model_bytes_(model_bytes),
+      history_len_(history_len),
+      compression_(compression),
+      last_sync_round_(num_clients, kNever) {
+  if (compression < 1.0) {
+    throw std::invalid_argument("CommTracker: compression < 1");
+  }
+}
+
+void CommTracker::record_round(const std::vector<std::size_t>& selected,
+                               bool defense_active) {
+  ++current_round_;
+  ++stats_.rounds;
+  for (std::size_t id : selected) {
+    if (id >= last_sync_round_.size()) {
+      throw std::out_of_range("CommTracker: unknown client id");
+    }
+    stats_.model_download_bytes += model_bytes_;
+    stats_.update_upload_bytes += model_bytes_;
+    if (!defense_active) continue;
+    // History delta: a client selected r rounds ago already holds all
+    // but min(r, history_len) of the ℓ+1 models.
+    std::uint64_t missing = history_len_;
+    if (last_sync_round_[id] != kNever) {
+      missing = std::min<std::uint64_t>(history_len_,
+                                        current_round_ - last_sync_round_[id]);
+    }
+    stats_.history_bytes += static_cast<std::uint64_t>(
+        static_cast<double>(missing * model_bytes_) / compression_);
+    last_sync_round_[id] = current_round_;
+  }
+}
+
+double CommTracker::history_bytes_per_client() const {
+  if (last_sync_round_.empty()) return 0.0;
+  return static_cast<double>(stats_.history_bytes) /
+         static_cast<double>(last_sync_round_.size());
+}
+
+}  // namespace baffle

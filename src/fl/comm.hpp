@@ -1,0 +1,57 @@
+#pragma once
+// Communication accounting (reproduces §VI-D).
+//
+// Tracks bytes moved between server and clients: per-round model
+// download, update upload, and — with BaFFLe enabled — the history of
+// ℓ+1 accepted models shipped to each validating client. A client that
+// was selected within the last ℓ rounds only needs the history *delta*
+// (the paper's 40MB-per-20-rounds amortization argument).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace baffle {
+
+struct CommStats {
+  std::uint64_t model_download_bytes = 0;   // G sent to contributors
+  std::uint64_t update_upload_bytes = 0;    // (masked) updates to server
+  std::uint64_t history_bytes = 0;          // model history to validators
+  std::uint64_t rounds = 0;
+
+  std::uint64_t total_bytes() const {
+    return model_download_bytes + update_upload_bytes + history_bytes;
+  }
+};
+
+class CommTracker {
+ public:
+  /// `model_bytes` — wire size of one encoded model; `history_len` — the
+  /// ℓ+1 models a validator needs; `compression` — model-compression
+  /// factor applied to history transfers (×10 per Caldas et al., as the
+  /// paper assumes); 1.0 = uncompressed.
+  CommTracker(std::size_t num_clients, std::size_t model_bytes,
+              std::size_t history_len, double compression = 1.0);
+
+  /// Accounts one round: every selected client downloads G and uploads
+  /// an update; if the defense is on, each also receives the part of the
+  /// history it does not already hold from a previous selection.
+  void record_round(const std::vector<std::size_t>& selected,
+                    bool defense_active);
+
+  const CommStats& stats() const { return stats_; }
+
+  /// Mean bytes a single client received as history so far.
+  double history_bytes_per_client() const;
+
+ private:
+  std::size_t model_bytes_;
+  std::size_t history_len_;
+  double compression_;
+  CommStats stats_;
+  // last round at which each client synced the history; SIZE_MAX = never
+  std::vector<std::uint64_t> last_sync_round_;
+  std::uint64_t current_round_ = 0;
+};
+
+}  // namespace baffle

@@ -1,0 +1,18 @@
+#include "fl/sampler.hpp"
+
+#include <stdexcept>
+
+namespace baffle {
+
+ClientSampler::ClientSampler(std::size_t total_clients, std::size_t per_round)
+    : total_clients_(total_clients), per_round_(per_round) {
+  if (per_round == 0 || per_round > total_clients) {
+    throw std::invalid_argument("ClientSampler: bad per_round");
+  }
+}
+
+std::vector<std::size_t> ClientSampler::sample_round(Rng& rng) const {
+  return rng.sample_without_replacement(total_clients_, per_round_);
+}
+
+}  // namespace baffle

@@ -1,0 +1,27 @@
+#pragma once
+// Per-round client selection. The paper samples n << N contributors
+// uniformly at random each round; with the communication optimization of
+// §VI-D the same selection also serves as the validating set.
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace baffle {
+
+class ClientSampler {
+ public:
+  ClientSampler(std::size_t total_clients, std::size_t per_round);
+
+  /// n distinct client ids, uniform over [0, N).
+  std::vector<std::size_t> sample_round(Rng& rng) const;
+
+  std::size_t total_clients() const { return total_clients_; }
+  std::size_t per_round() const { return per_round_; }
+
+ private:
+  std::size_t total_clients_;
+  std::size_t per_round_;
+};
+
+}  // namespace baffle

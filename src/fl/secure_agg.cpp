@@ -1,0 +1,103 @@
+#include "fl/secure_agg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace baffle {
+
+std::uint64_t SecureAggregation::encode(float x) const {
+  const double scaled =
+      std::round(static_cast<double>(x) *
+                 static_cast<double>(std::uint64_t{1} << config_.frac_bits));
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(scaled));
+}
+
+float SecureAggregation::decode_sum(std::uint64_t total) const {
+  const auto as_signed = static_cast<std::int64_t>(total);
+  return static_cast<float>(
+      static_cast<double>(as_signed) /
+      static_cast<double>(std::uint64_t{1} << config_.frac_bits));
+}
+
+std::uint64_t SecureAggregation::pair_seed(std::size_t a,
+                                           std::size_t b) const {
+  const std::size_t lo = std::min(a, b), hi = std::max(a, b);
+  std::uint64_t s = config_.round_key;
+  s = Rng::split_mix(s ^ (static_cast<std::uint64_t>(lo) + 1));
+  s = Rng::split_mix(s ^ (static_cast<std::uint64_t>(hi) + 1) << 1);
+  return s;
+}
+
+void SecureAggregation::add_pair_mask(MaskedVec& vec, std::size_t self_id,
+                                      std::size_t other_id,
+                                      bool subtract) const {
+  Rng prg(pair_seed(self_id, other_id));
+  for (auto& slot : vec) {
+    const std::uint64_t m = prg.next_u64();
+    slot = subtract ? slot - m : slot + m;  // wrap-around group Z_2^64
+  }
+}
+
+MaskedVec SecureAggregation::mask_update(
+    const ParamVec& update, std::size_t self_id,
+    const std::vector<std::size_t>& participants) const {
+  MaskedVec out(update.size());
+  for (std::size_t i = 0; i < update.size(); ++i) out[i] = encode(update[i]);
+  bool self_seen = false;
+  for (std::size_t other : participants) {
+    if (other == self_id) {
+      self_seen = true;
+      continue;
+    }
+    // The lower id adds, the higher id subtracts — so each pair's mask
+    // cancels in the sum.
+    add_pair_mask(out, self_id, other, /*subtract=*/self_id > other);
+  }
+  if (!self_seen) {
+    throw std::invalid_argument("mask_update: self not in participants");
+  }
+  return out;
+}
+
+ParamVec SecureAggregation::unmask_sum(
+    const std::vector<MaskedVec>& masked,
+    const std::vector<std::size_t>& senders,
+    const std::vector<std::size_t>& participants, std::size_t vec_len) const {
+  if (masked.size() != senders.size()) {
+    throw std::invalid_argument("unmask_sum: senders/masked mismatch");
+  }
+  if (masked.empty()) {
+    throw std::invalid_argument("unmask_sum: no masked updates");
+  }
+  for (const auto& m : masked) {
+    if (m.size() != vec_len) {
+      throw std::invalid_argument("unmask_sum: vector length mismatch");
+    }
+  }
+  MaskedVec total(vec_len, 0);
+  for (const auto& m : masked) {
+    for (std::size_t i = 0; i < vec_len; ++i) total[i] += m[i];
+  }
+  // Cancel the masks survivors applied against dropped participants: in
+  // the real protocol the server recovers these seeds from the Shamir
+  // shares held by surviving clients.
+  for (std::size_t dropped : participants) {
+    if (std::find(senders.begin(), senders.end(), dropped) != senders.end()) {
+      continue;
+    }
+    for (std::size_t survivor : senders) {
+      // The survivor applied +mask if survivor < dropped else -mask;
+      // undo it.
+      add_pair_mask(total, survivor, dropped,
+                    /*subtract=*/survivor < dropped);
+    }
+  }
+  ParamVec out(vec_len);
+  for (std::size_t i = 0; i < vec_len; ++i) out[i] = decode_sum(total[i]);
+  return out;
+}
+
+}  // namespace baffle

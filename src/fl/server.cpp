@@ -1,0 +1,104 @@
+#include "fl/server.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+
+namespace baffle {
+
+FlServer::FlServer(MlpConfig arch, FlConfig config, std::uint64_t seed)
+    : arch_(std::move(arch)),
+      config_(config),
+      global_(arch_),
+      aggregator_(config.global_lr, config.total_clients),
+      secure_agg_key_base_(Rng::split_mix(seed)) {
+  if (config.clients_per_round == 0 ||
+      config.clients_per_round > config.total_clients) {
+    throw std::invalid_argument("FlServer: bad clients_per_round");
+  }
+  Rng init_rng(seed);
+  global_.init(init_rng);
+}
+
+FlServer::Proposal FlServer::propose_round(UpdateProvider& provider,
+                                           Rng& round_rng) {
+  const ClientSampler sampler(config_.total_clients,
+                              config_.clients_per_round);
+  return propose_round_with(sampler.sample_round(round_rng), provider,
+                            round_rng);
+}
+
+FlServer::Proposal FlServer::propose_round_with(
+    const std::vector<std::size_t>& contributors, UpdateProvider& provider,
+    Rng& round_rng) {
+  if (contributors.empty()) {
+    throw std::invalid_argument("propose_round: no contributors");
+  }
+  std::vector<ParamVec> updates;
+  updates.reserve(contributors.size());
+  for (std::size_t id : contributors) {
+    Rng client_rng = round_rng.fork();
+    updates.push_back(provider.update_for(id, global_, client_rng));
+  }
+  check_update_sizes(updates, global_.num_params());
+
+  ParamVec delta;
+  if (config_.secure_aggregation) {
+    // The server only ever sees the (unmasked) *sum*; scale it per the
+    // FedAvg rule afterwards.
+    ParamVec total = aggregate_secure(updates, contributors);
+    scale(total, static_cast<float>(config_.global_lr /
+                                    static_cast<double>(
+                                        config_.total_clients)));
+    delta = std::move(total);
+  } else {
+    delta = aggregator_.aggregate(updates);
+  }
+
+  Proposal proposal;
+  proposal.candidate_params = ::baffle::add(global_.parameters(), delta);
+  proposal.contributors = contributors;
+  proposal.round = round_ + 1;
+  return proposal;
+}
+
+ParamVec FlServer::aggregate_secure(
+    const std::vector<ParamVec>& updates,
+    const std::vector<std::size_t>& contributors) {
+  SecureAggConfig sa_config;
+  sa_config.frac_bits = config_.secure_agg_frac_bits;
+  sa_config.round_key =
+      Rng::split_mix(secure_agg_key_base_ ^ (round_ + 1));
+  const SecureAggregation secure(sa_config);
+  std::vector<MaskedVec> masked;
+  masked.reserve(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    masked.push_back(
+        secure.mask_update(updates[i], contributors[i], contributors));
+  }
+  return secure.unmask_sum(masked, contributors, contributors,
+                           global_.num_params());
+}
+
+void FlServer::commit(const Proposal& proposal) {
+  if (proposal.round != round_ + 1) {
+    throw std::logic_error("FlServer::commit: stale proposal");
+  }
+  global_.set_parameters(proposal.candidate_params);
+  ++version_;
+  ++round_;
+  log_debug() << "round " << round_ << " committed (version " << version_
+              << ")";
+}
+
+void FlServer::discard(const Proposal& proposal) {
+  if (proposal.round != round_ + 1) {
+    throw std::logic_error("FlServer::discard: stale proposal");
+  }
+  ++round_;
+  log_debug() << "round " << round_ << " rejected; keeping version "
+              << version_;
+}
+
+}  // namespace baffle

@@ -1,0 +1,34 @@
+#include "fl/update.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+void check_update_sizes(const std::vector<ParamVec>& updates,
+                        std::size_t expected_size) {
+  for (const auto& u : updates) {
+    if (u.size() != expected_size) {
+      throw std::invalid_argument("update size mismatch");
+    }
+  }
+}
+
+ParamVec sum_updates(const std::vector<ParamVec>& updates) {
+  if (updates.empty()) throw std::invalid_argument("sum_updates: empty");
+  ParamVec out(updates.front().size(), 0.0f);
+  for (const auto& u : updates) {
+    check_update_sizes({u}, out.size());
+    axpy(1.0f, u, out);
+  }
+  return out;
+}
+
+ParamVec mean_update(const std::vector<ParamVec>& updates) {
+  ParamVec out = sum_updates(updates);
+  scale(out, 1.0f / static_cast<float>(updates.size()));
+  return out;
+}
+
+}  // namespace baffle

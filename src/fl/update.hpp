@@ -1,0 +1,24 @@
+#pragma once
+// Parameter-space vocabulary for federated learning.
+//
+// A model update is U_i = L_i - G: the client's locally-trained
+// parameters minus the global parameters, as one flat vector.
+
+#include <cstddef>
+#include <vector>
+
+namespace baffle {
+
+using ParamVec = std::vector<float>;
+
+/// Element-wise mean of equally-weighted updates.
+ParamVec mean_update(const std::vector<ParamVec>& updates);
+
+/// Element-wise sum.
+ParamVec sum_updates(const std::vector<ParamVec>& updates);
+
+/// Throws unless all updates share `expected_size`.
+void check_update_sizes(const std::vector<ParamVec>& updates,
+                        std::size_t expected_size);
+
+}  // namespace baffle

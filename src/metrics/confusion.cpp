@@ -1,0 +1,93 @@
+#include "metrics/confusion.hpp"
+
+#include <stdexcept>
+
+namespace baffle {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: zero classes");
+  }
+}
+
+void ConfusionMatrix::record(int true_label, int predicted_label) {
+  if (true_label < 0 ||
+      static_cast<std::size_t>(true_label) >= num_classes_ ||
+      predicted_label < 0 ||
+      static_cast<std::size_t>(predicted_label) >= num_classes_) {
+    throw std::invalid_argument("ConfusionMatrix::record: label range");
+  }
+  counts_[static_cast<std::size_t>(true_label) * num_classes_ +
+          static_cast<std::size_t>(predicted_label)]++;
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int true_label, int predicted_label) const {
+  return counts_[static_cast<std::size_t>(true_label) * num_classes_ +
+                 static_cast<std::size_t>(predicted_label)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t y = 0; y < num_classes_; ++y) {
+    correct += counts_[y * num_classes_ + y];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::source_focused_errors() const {
+  std::vector<double> out(num_classes_, 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t y = 0; y < num_classes_; ++y) {
+    std::size_t wrong = 0;
+    for (std::size_t p = 0; p < num_classes_; ++p) {
+      if (p != y) wrong += counts_[y * num_classes_ + p];
+    }
+    out[y] = static_cast<double>(wrong) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::target_focused_errors() const {
+  std::vector<double> out(num_classes_, 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t p = 0; p < num_classes_; ++p) {
+    std::size_t wrong = 0;
+    for (std::size_t y = 0; y < num_classes_; ++y) {
+      if (y != p) wrong += counts_[y * num_classes_ + p];
+    }
+    out[p] = static_cast<double>(wrong) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::per_class_error_rates() const {
+  std::vector<double> out(num_classes_, 0.0);
+  for (std::size_t y = 0; y < num_classes_; ++y) {
+    std::size_t class_total = 0, wrong = 0;
+    for (std::size_t p = 0; p < num_classes_; ++p) {
+      class_total += counts_[y * num_classes_ + p];
+      if (p != y) wrong += counts_[y * num_classes_ + p];
+    }
+    out[y] = class_total == 0
+                 ? 0.0
+                 : static_cast<double>(wrong) / static_cast<double>(class_total);
+  }
+  return out;
+}
+
+ConfusionMatrix evaluate_confusion(Mlp& model, const Dataset& data) {
+  ConfusionMatrix cm(data.num_classes());
+  if (data.empty()) return cm;
+  const Matrix x = data.features();
+  const auto labels = data.labels();
+  const auto preds = model.predict(x);
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    cm.record(labels[i], static_cast<int>(preds[i]));
+  }
+  return cm;
+}
+
+}  // namespace baffle

@@ -1,0 +1,29 @@
+#include "metrics/rates.hpp"
+
+namespace baffle {
+
+DetectionRates compute_detection_rates(
+    const std::vector<RoundRecord>& rounds) {
+  DetectionRates rates;
+  for (const auto& r : rounds) {
+    if (!r.defense_active) continue;
+    if (r.poisoned) {
+      ++rates.poisoned_rounds;
+      if (!r.rejected) ++rates.false_negatives;
+    } else {
+      ++rates.clean_rounds;
+      if (r.rejected) ++rates.false_positives;
+    }
+  }
+  if (rates.clean_rounds > 0) {
+    rates.fp_rate = static_cast<double>(rates.false_positives) /
+                    static_cast<double>(rates.clean_rounds);
+  }
+  if (rates.poisoned_rounds > 0) {
+    rates.fn_rate = static_cast<double>(rates.false_negatives) /
+                    static_cast<double>(rates.poisoned_rounds);
+  }
+  return rates;
+}
+
+}  // namespace baffle

@@ -1,0 +1,38 @@
+#pragma once
+// Detection-quality accounting over a run of the defended FL process.
+//
+// Convention (matching the paper): a "positive" is a *rejected* round.
+//   false positive  — clean round rejected
+//   false negative  — poisoned round accepted
+// FP rate = FP / (# clean rounds with the defense active)
+// FN rate = FN / (# poisoned rounds with the defense active)
+
+#include <cstddef>
+#include <vector>
+
+namespace baffle {
+
+/// One defended FL round, as recorded by the experiment harness.
+struct RoundRecord {
+  std::size_t round = 0;
+  bool defense_active = false;
+  bool poisoned = false;       // a malicious update was injected this round
+  bool rejected = false;       // verdict of the feedback loop
+  double main_accuracy = 0.0;  // global-model accuracy on the eval set
+  double backdoor_accuracy = 0.0;  // Eq. (1) on the backdoor test set
+  std::size_t reject_votes = 0;    // # validators voting "poisoned"
+  std::size_t num_validators = 0;
+};
+
+struct DetectionRates {
+  double fp_rate = 0.0;
+  double fn_rate = 0.0;
+  std::size_t clean_rounds = 0;
+  std::size_t poisoned_rounds = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+DetectionRates compute_detection_rates(const std::vector<RoundRecord>& rounds);
+
+}  // namespace baffle

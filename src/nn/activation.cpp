@@ -1,0 +1,59 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace baffle {
+
+void activation_forward(Activation act, Matrix& m) {
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (float& x : m.flat()) {
+        if (x < 0.0f) x = 0.0f;
+      }
+      return;
+    case Activation::kTanh:
+      for (float& x : m.flat()) x = std::tanh(x);
+      return;
+  }
+  throw std::logic_error("activation_forward: unknown activation");
+}
+
+void activation_backward(Activation act, const Matrix& activated,
+                         Matrix& grad) {
+  if (activated.rows() != grad.rows() || activated.cols() != grad.cols()) {
+    throw std::invalid_argument("activation_backward: shape mismatch");
+  }
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu: {
+      auto a = activated.flat();
+      auto g = grad.flat();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] <= 0.0f) g[i] = 0.0f;
+      }
+      return;
+    }
+    case Activation::kTanh: {
+      auto a = activated.flat();
+      auto g = grad.flat();
+      for (std::size_t i = 0; i < a.size(); ++i) g[i] *= 1.0f - a[i] * a[i];
+      return;
+    }
+  }
+  throw std::logic_error("activation_backward: unknown activation");
+}
+
+const char* activation_name(Activation act) {
+  switch (act) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kTanh: return "tanh";
+  }
+  return "?";
+}
+
+}  // namespace baffle

@@ -1,0 +1,22 @@
+#pragma once
+// Elementwise activations with explicit backward passes.
+
+#include "tensor/matrix.hpp"
+
+namespace baffle {
+
+enum class Activation { kIdentity, kRelu, kTanh };
+
+/// In-place forward activation.
+void activation_forward(Activation act, Matrix& m);
+
+/// In-place backward: grad *= act'(pre_activation evaluated via the
+/// *post*-activation values in `activated`). Using post-activation values
+/// avoids caching the pre-activation matrix (both ReLU and tanh admit
+/// this form).
+void activation_backward(Activation act, const Matrix& activated,
+                         Matrix& grad);
+
+const char* activation_name(Activation act);
+
+}  // namespace baffle

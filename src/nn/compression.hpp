@@ -1,0 +1,41 @@
+#pragma once
+// Lossy model compression for history transfers (§VI-D).
+//
+// The paper cites Caldas et al. for a ~10x reduction when shipping
+// models to clients. This implements the standard top-k sparsification
+// + linear 8-bit quantization codec so the compression factor in the
+// communication accounting is produced by real bytes, not a constant:
+// keep the k largest-magnitude parameters, quantize them to 8 bits
+// within [min, max], and store (index, code) pairs.
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/update.hpp"
+
+namespace baffle {
+
+struct CompressedModel {
+  std::vector<std::uint8_t> bytes;
+  std::size_t original_params = 0;
+
+  double compression_ratio() const {
+    return bytes.empty() ? 0.0
+                         : static_cast<double>(original_params * 4) /
+                               static_cast<double>(bytes.size());
+  }
+};
+
+/// Compresses a flat parameter vector keeping a `keep_fraction` of the
+/// entries (by magnitude). keep_fraction in (0, 1].
+CompressedModel compress_topk(const ParamVec& params, double keep_fraction);
+
+/// Reconstructs a full-length vector; dropped entries are zero.
+ParamVec decompress_topk(const CompressedModel& compressed);
+
+/// Max absolute reconstruction error over the KEPT entries (quantization
+/// error; dropped entries err by their own magnitude, which top-k keeps
+/// small by construction).
+float quantization_error_bound(const ParamVec& params, double keep_fraction);
+
+}  // namespace baffle

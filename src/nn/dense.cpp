@@ -1,0 +1,68 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Activation act)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      act_(act),
+      weights_(in_dim, out_dim),
+      bias_(out_dim, 0.0f),
+      weight_grad_(in_dim, out_dim),
+      bias_grad_(out_dim, 0.0f) {
+  if (in_dim == 0 || out_dim == 0) {
+    throw std::invalid_argument("Dense: zero dimension");
+  }
+}
+
+void Dense::init_weights(Rng& rng) {
+  // He initialization for ReLU, Glorot for the rest.
+  const double fan_in = static_cast<double>(in_dim_);
+  const double scale = act_ == Activation::kRelu
+                           ? std::sqrt(2.0 / fan_in)
+                           : std::sqrt(1.0 / fan_in);
+  for (float& w : weights_.flat()) {
+    w = static_cast<float>(rng.normal(0.0, scale));
+  }
+  std::fill(bias_.begin(), bias_.end(), 0.0f);
+}
+
+void Dense::forward(const Matrix& x, Matrix& out) {
+  if (x.cols() != in_dim_) throw std::invalid_argument("Dense: input dim");
+  cached_input_ = x;
+  out = Matrix(x.rows(), out_dim_);
+  gemm_ab(x, weights_, out);
+  add_row_bias(out, bias_);
+  activation_forward(act_, out);
+  cached_output_ = out;
+}
+
+void Dense::backward(Matrix& dout, Matrix* dx) {
+  if (dout.rows() != cached_input_.rows() || dout.cols() != out_dim_) {
+    throw std::invalid_argument("Dense::backward: gradient shape");
+  }
+  activation_backward(act_, cached_output_, dout);
+  // dW += xᵀ dout; db += colsum(dout); dx = dout Wᵀ
+  Matrix dw(in_dim_, out_dim_);
+  gemm_atb(cached_input_, dout, dw);
+  axpy(1.0f, dw.flat(), weight_grad_.flat());
+  std::vector<float> db(out_dim_, 0.0f);
+  col_sum(dout, db);
+  axpy(1.0f, db, bias_grad_);
+  if (dx != nullptr) {
+    *dx = Matrix(dout.rows(), in_dim_);
+    gemm_abt(dout, weights_, *dx);
+  }
+}
+
+void Dense::zero_grad() {
+  weight_grad_.fill(0.0f);
+  std::fill(bias_grad_.begin(), bias_grad_.end(), 0.0f);
+}
+
+}  // namespace baffle

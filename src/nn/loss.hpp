@@ -1,0 +1,25 @@
+#pragma once
+// Softmax cross-entropy loss with fused gradient.
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace baffle {
+
+struct LossResult {
+  double loss = 0.0;   // mean cross-entropy over the batch
+  Matrix dlogits;      // gradient w.r.t. logits (already divided by batch)
+};
+
+/// Computes mean softmax cross-entropy of `logits` against integer
+/// `labels` and the gradient dL/dlogits = (softmax - onehot) / batch.
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 std::span<const int> labels);
+
+/// Loss only (no gradient) — used by evaluation paths.
+double softmax_cross_entropy_loss(const Matrix& logits,
+                                  std::span<const int> labels);
+
+}  // namespace baffle

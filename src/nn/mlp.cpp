@@ -1,0 +1,108 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+Mlp::Mlp(const MlpConfig& config) : config_(config) {
+  if (config.layer_dims.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output dims");
+  }
+  const std::size_t n_layers = config.layer_dims.size() - 1;
+  layers_.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    const bool is_last = (i + 1 == n_layers);
+    layers_.emplace_back(config.layer_dims[i], config.layer_dims[i + 1],
+                         is_last ? Activation::kIdentity
+                                 : config.hidden_activation);
+    num_params_ += layers_.back().num_params();
+  }
+}
+
+void Mlp::init(Rng& rng) {
+  for (auto& layer : layers_) layer.init_weights(rng);
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix cur = x;
+  Matrix next;
+  for (auto& layer : layers_) {
+    layer.forward(cur, next);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+void Mlp::backward(Matrix dlogits) {
+  Matrix dx;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const bool first = (i == 0);
+    layers_[i].backward(dlogits, first ? nullptr : &dx);
+    if (!first) dlogits = std::move(dx);
+  }
+}
+
+void Mlp::zero_grad() {
+  for (auto& layer : layers_) layer.zero_grad();
+}
+
+std::vector<std::size_t> Mlp::predict(const Matrix& x) {
+  return argmax_rows(forward(x));
+}
+
+std::vector<float> Mlp::parameters() const {
+  std::vector<float> flat;
+  flat.reserve(num_params_);
+  for (const auto& layer : layers_) {
+    const auto w = layer.weights().flat();
+    flat.insert(flat.end(), w.begin(), w.end());
+    flat.insert(flat.end(), layer.bias().begin(), layer.bias().end());
+  }
+  return flat;
+}
+
+void Mlp::set_parameters(std::span<const float> flat) {
+  if (flat.size() != num_params_) {
+    throw std::invalid_argument("Mlp::set_parameters: size mismatch");
+  }
+  std::size_t pos = 0;
+  for (auto& layer : layers_) {
+    auto w = layer.weights().flat();
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(pos), w.size(),
+                w.begin());
+    pos += w.size();
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+                layer.bias().size(), layer.bias().begin());
+    pos += layer.bias().size();
+  }
+}
+
+std::vector<float> Mlp::gradients() const {
+  std::vector<float> flat;
+  flat.reserve(num_params_);
+  for (const auto& layer : layers_) {
+    const auto g = layer.weight_grad().flat();
+    flat.insert(flat.end(), g.begin(), g.end());
+    flat.insert(flat.end(), layer.bias_grad().begin(), layer.bias_grad().end());
+  }
+  return flat;
+}
+
+void Mlp::add_to_parameters(std::span<const float> delta) {
+  if (delta.size() != num_params_) {
+    throw std::invalid_argument("Mlp::add_to_parameters: size mismatch");
+  }
+  std::size_t pos = 0;
+  for (auto& layer : layers_) {
+    auto w = layer.weights().flat();
+    axpy(1.0f, delta.subspan(pos, w.size()), w);
+    pos += w.size();
+    axpy(1.0f, delta.subspan(pos, layer.bias().size()), layer.bias());
+    pos += layer.bias().size();
+  }
+}
+
+}  // namespace baffle

@@ -1,0 +1,65 @@
+#pragma once
+// Multi-layer perceptron classifier.
+//
+// FL treats models as flat parameter vectors (for averaging, scaling and
+// secure aggregation), so the Mlp exposes get/set of a contiguous
+// std::vector<float> of all weights and biases, in a fixed layer order.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/dense.hpp"
+
+namespace baffle {
+
+/// Architecture spec: layer widths [in, h1, ..., out] plus the hidden
+/// activation (output layer is always linear; softmax lives in the loss).
+struct MlpConfig {
+  std::vector<std::size_t> layer_dims;           // >= 2 entries
+  Activation hidden_activation = Activation::kRelu;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(const MlpConfig& config);
+
+  /// Re-randomize all parameters.
+  void init(Rng& rng);
+
+  /// Forward pass: logits for a batch (rows = samples).
+  Matrix forward(const Matrix& x);
+
+  /// Backward pass from dL/dlogits; accumulates parameter gradients.
+  void backward(Matrix dlogits);
+
+  void zero_grad();
+
+  /// Predicted class per row of x.
+  std::vector<std::size_t> predict(const Matrix& x);
+
+  std::size_t num_params() const { return num_params_; }
+  std::size_t input_dim() const { return config_.layer_dims.front(); }
+  std::size_t output_dim() const { return config_.layer_dims.back(); }
+  const MlpConfig& config() const { return config_; }
+
+  /// Flat parameter (or gradient) access, layer-major: for each layer,
+  /// weights row-major then bias.
+  std::vector<float> parameters() const;
+  void set_parameters(std::span<const float> flat);
+  std::vector<float> gradients() const;
+
+  /// parameters += delta (used by the server when applying aggregated
+  /// updates, and by SGD).
+  void add_to_parameters(std::span<const float> delta);
+
+  std::vector<Dense>& layers() { return layers_; }
+  const std::vector<Dense>& layers() const { return layers_; }
+
+ private:
+  MlpConfig config_;
+  std::vector<Dense> layers_;
+  std::size_t num_params_ = 0;
+};
+
+}  // namespace baffle

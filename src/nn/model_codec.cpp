@@ -1,0 +1,66 @@
+#include "nn/model_codec.hpp"
+
+#include <stdexcept>
+
+#include "util/serialization.hpp"
+
+namespace baffle {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xBAFF1E01;
+}
+
+std::vector<std::uint8_t> encode_model(const Mlp& model) {
+  ByteWriter w;
+  w.u32(kMagic);
+  const auto& dims = model.config().layer_dims;
+  w.u64(dims.size());
+  for (std::size_t d : dims) w.u64(d);
+  w.u8(static_cast<std::uint8_t>(model.config().hidden_activation));
+  const auto params = model.parameters();
+  w.f32_span(params);
+  return w.take();
+}
+
+Mlp decode_model(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kMagic) {
+    throw std::runtime_error("decode_model: bad magic");
+  }
+  const std::uint64_t n_dims = r.u64();
+  if (n_dims < 2 || n_dims > 64) {
+    throw std::runtime_error("decode_model: implausible layer count");
+  }
+  MlpConfig config;
+  config.layer_dims.reserve(n_dims);
+  for (std::uint64_t i = 0; i < n_dims; ++i) {
+    const std::uint64_t d = r.u64();
+    if (d == 0 || d > (1u << 24)) {
+      throw std::runtime_error("decode_model: implausible layer dim");
+    }
+    config.layer_dims.push_back(d);
+  }
+  const std::uint8_t act = r.u8();
+  if (act > static_cast<std::uint8_t>(Activation::kTanh)) {
+    throw std::runtime_error("decode_model: unknown activation");
+  }
+  config.hidden_activation = static_cast<Activation>(act);
+  Mlp model(config);
+  const auto params = r.f32_vec();
+  if (params.size() != model.num_params()) {
+    throw std::runtime_error("decode_model: parameter count mismatch");
+  }
+  if (!r.done()) {
+    throw std::runtime_error("decode_model: trailing bytes");
+  }
+  model.set_parameters(params);
+  return model;
+}
+
+std::size_t encoded_size(const Mlp& model) {
+  // magic + dim count + dims + activation + param count + params
+  return 4 + 8 + 8 * model.config().layer_dims.size() + 1 + 8 +
+         4 * model.num_params();
+}
+
+}  // namespace baffle

@@ -1,0 +1,34 @@
+#pragma once
+// Model (de)serialization. Used two ways:
+//   1. The FL server ships the global model + the ℓ+1 model history to
+//      validating clients each round; §VI-D's communication-overhead
+//      analysis needs the real wire size.
+//   2. Snapshotting accepted models into the BaFFLe history.
+//
+// Wire format: magic, architecture (layer dims + activation), then the
+// flat f32 parameter vector.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace baffle {
+
+/// Serializes architecture + parameters.
+std::vector<std::uint8_t> encode_model(const Mlp& model);
+
+/// Rebuilds a model from encode_model output. Throws std::runtime_error
+/// on malformed input.
+Mlp decode_model(std::span<const std::uint8_t> bytes);
+
+/// Wire size in bytes of a model with the given parameter count (header
+/// excluded from per-model cost amortization is negligible; this returns
+/// the exact size produced by encode_model for that architecture).
+std::size_t encoded_size(const Mlp& model);
+
+/// Simulated lossy compression factor from Caldas et al. (federated
+/// dropout + quantization), which the paper cites as giving ~10x.
+constexpr double kModelCompressionFactor = 10.0;
+
+}  // namespace baffle

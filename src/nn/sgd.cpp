@@ -1,0 +1,45 @@
+#include "nn/sgd.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+Sgd::Sgd(std::size_t num_params, SgdConfig config)
+    : config_(config), velocity_(num_params, 0.0f) {
+  if (config.learning_rate <= 0.0f) {
+    throw std::invalid_argument("Sgd: learning rate must be positive");
+  }
+  if (config.momentum < 0.0f || config.momentum >= 1.0f) {
+    throw std::invalid_argument("Sgd: momentum out of [0,1)");
+  }
+}
+
+void Sgd::step(Mlp& model) {
+  std::vector<float> grad = model.gradients();
+  if (grad.size() != velocity_.size()) {
+    throw std::invalid_argument("Sgd::step: model size mismatch");
+  }
+  if (config_.weight_decay > 0.0f) {
+    axpy(config_.weight_decay, model.parameters(), grad);
+  }
+  if (config_.grad_clip > 0.0f) {
+    const float norm = l2_norm(grad);
+    if (norm > config_.grad_clip) scale(grad, config_.grad_clip / norm);
+  }
+  std::vector<float> delta(grad.size());
+  if (config_.momentum > 0.0f) {
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      velocity_[i] = config_.momentum * velocity_[i] + grad[i];
+      delta[i] = -config_.learning_rate * velocity_[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      delta[i] = -config_.learning_rate * grad[i];
+    }
+  }
+  model.add_to_parameters(delta);
+}
+
+}  // namespace baffle

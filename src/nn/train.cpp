@@ -1,0 +1,70 @@
+#include "nn/train.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace baffle {
+
+TrainStats train_sgd(Mlp& model, const Matrix& x, std::span<const int> labels,
+                     const TrainConfig& config, Rng& rng) {
+  if (x.rows() != labels.size()) {
+    throw std::invalid_argument("train_sgd: label count mismatch");
+  }
+  if (x.rows() == 0) return {};
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("train_sgd: batch_size == 0");
+  }
+
+  Sgd optimizer(model.num_params(), config.sgd);
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  TrainStats stats;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t epoch_batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t count =
+          std::min(config.batch_size, order.size() - start);
+      Matrix batch(count, x.cols());
+      std::vector<int> batch_labels(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t src = order[start + i];
+        auto dst = batch.row(i);
+        auto row = x.row(src);
+        std::copy(row.begin(), row.end(), dst.begin());
+        batch_labels[i] = labels[src];
+      }
+      model.zero_grad();
+      Matrix logits = model.forward(batch);
+      LossResult loss = softmax_cross_entropy(logits, batch_labels);
+      model.backward(std::move(loss.dlogits));
+      optimizer.step(model);
+      epoch_loss += loss.loss;
+      ++epoch_batches;
+      ++stats.steps;
+    }
+    if (epoch + 1 == config.epochs && epoch_batches > 0) {
+      stats.final_loss = epoch_loss / static_cast<double>(epoch_batches);
+    }
+  }
+  return stats;
+}
+
+double evaluate_accuracy(Mlp& model, const Matrix& x,
+                         std::span<const int> labels) {
+  if (x.rows() != labels.size()) {
+    throw std::invalid_argument("evaluate_accuracy: label count mismatch");
+  }
+  if (x.rows() == 0) return 0.0;
+  const auto preds = model.predict(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == static_cast<std::size_t>(labels[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.rows());
+}
+
+}  // namespace baffle

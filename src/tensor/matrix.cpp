@@ -1,0 +1,27 @@
+#include "tensor/matrix.hpp"
+
+#include <stdexcept>
+
+namespace baffle {
+
+Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
+                         std::vector<float> data) {
+  if (data.size() != rows * cols) {
+    throw std::invalid_argument("Matrix::from_rows: size mismatch");
+  }
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  if (rows * cols != data_.size()) {
+    throw std::invalid_argument("Matrix::reshape: size mismatch");
+  }
+  rows_ = rows;
+  cols_ = cols;
+}
+
+}  // namespace baffle

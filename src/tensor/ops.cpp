@@ -1,0 +1,175 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace baffle {
+
+namespace {
+void check(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+}  // namespace
+
+void gemm_ab(const Matrix& a, const Matrix& b, Matrix& out) {
+  check(a.cols() == b.rows(), "gemm_ab: inner dimension mismatch");
+  check(out.rows() == a.rows() && out.cols() == b.cols(),
+        "gemm_ab: output shape mismatch");
+  out.fill(0.0f);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* out_row = out.row(i).data();
+    const float* a_row = a.row(i).data();
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b.row(p).data();
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void gemm_atb(const Matrix& a, const Matrix& b, Matrix& out) {
+  check(a.rows() == b.rows(), "gemm_atb: inner dimension mismatch");
+  check(out.rows() == a.cols() && out.cols() == b.cols(),
+        "gemm_atb: output shape mismatch");
+  out.fill(0.0f);
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* a_row = a.row(p).data();
+    const float* b_row = b.row(p).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = out.row(i).data();
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out) {
+  check(a.cols() == b.cols(), "gemm_abt: inner dimension mismatch");
+  check(out.rows() == a.rows() && out.cols() == b.rows(),
+        "gemm_abt: output shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.row(i).data();
+    float* out_row = out.row(i).data();
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b.row(j).data();
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+}
+
+void add_row_bias(Matrix& m, std::span<const float> bias) {
+  check(bias.size() == m.cols(), "add_row_bias: bias length mismatch");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r).data();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void col_sum(const Matrix& m, std::span<float> out) {
+  check(out.size() == m.cols(), "col_sum: output length mismatch");
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.row(r).data();
+    for (std::size_t c = 0; c < m.cols(); ++c) out[c] += row[c];
+  }
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    const float mx = *std::max_element(row.begin(), row.end());
+    float total = 0.0f;
+    for (float& x : row) {
+      x = std::exp(x - mx);
+      total += x;
+    }
+    for (float& x : row) x /= total;
+  }
+}
+
+std::vector<std::size_t> argmax_rows(const Matrix& m) {
+  std::vector<std::size_t> out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    out[r] = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  check(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (float& v : x) v *= alpha;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  check(a.size() == b.size(), "dot: length mismatch");
+  // Accumulate in double: parameter vectors reach ~10^5 entries and the
+  // cosine-similarity baselines (FoolsGold) are sensitive to cancellation.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return static_cast<float>(acc);
+}
+
+float l2_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float l2_distance(std::span<const float> a, std::span<const float> b) {
+  check(a.size() == b.size(), "l2_distance: length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  const float na = l2_norm(a), nb = l2_norm(b);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return dot(a, b) / (na * nb);
+}
+
+std::vector<float> subtract(std::span<const float> a,
+                            std::span<const float> b) {
+  check(a.size() == b.size(), "subtract: length mismatch");
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<float> add(std::span<const float> a, std::span<const float> b) {
+  check(a.size() == b.size(), "add: length mismatch");
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<float> lerp(std::span<const float> a, std::span<const float> b,
+                        float t) {
+  check(a.size() == b.size(), "lerp: length mismatch");
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = (1.0f - t) * a[i] + t * b[i];
+  }
+  return out;
+}
+
+}  // namespace baffle

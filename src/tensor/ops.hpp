@@ -1,0 +1,61 @@
+#pragma once
+// Numeric kernels on Matrix and flat float spans.
+//
+// GEMM comes in the three transpose configurations backprop needs:
+//   forward:   Y  = X  W      -> gemm_ab
+//   dW:        dW = Xᵀ dY     -> gemm_atb
+//   dX:        dX = dY Wᵀ     -> gemm_abt
+// Kernels are written cache-friendly (k-inner accumulation over rows)
+// which is plenty for the model sizes used in the simulation.
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace baffle {
+
+/// out = a * b. Shapes: (m,k) x (k,n) -> (m,n).
+void gemm_ab(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = aᵀ * b. Shapes: (k,m) x (k,n) -> (m,n).
+void gemm_atb(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * bᵀ. Shapes: (m,k) x (n,k) -> (m,n).
+void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Adds bias (length = m.cols()) to every row of m.
+void add_row_bias(Matrix& m, std::span<const float> bias);
+
+/// Column-wise sum of m into out (length = m.cols()).
+void col_sum(const Matrix& m, std::span<float> out);
+
+/// In-place row-wise softmax (numerically stabilized).
+void softmax_rows(Matrix& m);
+
+/// Index of the max entry of each row.
+std::vector<std::size_t> argmax_rows(const Matrix& m);
+
+// --- flat-vector (parameter-space) helpers ----------------------------
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha
+void scale(std::span<float> x, float alpha);
+
+float dot(std::span<const float> a, std::span<const float> b);
+float l2_norm(std::span<const float> x);
+float l2_distance(std::span<const float> a, std::span<const float> b);
+float cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// out = a - b (allocating).
+std::vector<float> subtract(std::span<const float> a, std::span<const float> b);
+
+/// out = a + b (allocating).
+std::vector<float> add(std::span<const float> a, std::span<const float> b);
+
+/// out = (1 - t) * a + t * b (allocating).
+std::vector<float> lerp(std::span<const float> a, std::span<const float> b,
+                        float t);
+
+}  // namespace baffle

@@ -1,0 +1,35 @@
+#pragma once
+// Minimal CSV writer. Benches optionally dump their table/figure data to
+// CSV (next to the printed report) so plots can be regenerated offline.
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace baffle {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O
+  /// failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string num(double x);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t width_;
+  std::ofstream out_;
+};
+
+/// Escape a cell per RFC 4180 (quotes doubled, wrap when needed).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace baffle

@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace baffle {
+
+namespace {
+
+LogLevel initial_threshold() {
+  const char* env = std::getenv("BAFFLE_LOG");
+  if (!env) return LogLevel::kWarn;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& threshold_storage() {
+  static std::atomic<LogLevel> level{initial_threshold()};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_storage().load(); }
+void set_log_threshold(LogLevel level) { threshold_storage().store(level); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  std::cerr << "[baffle:" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace baffle

@@ -1,0 +1,88 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace baffle {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("categorical: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("categorical: non-positive total");
+  double u = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical slack
+}
+
+std::vector<double> Rng::dirichlet(std::size_t dim, double alpha) {
+  if (dim == 0) throw std::invalid_argument("dirichlet: dim == 0");
+  if (alpha <= 0.0) throw std::invalid_argument("dirichlet: alpha <= 0");
+  std::gamma_distribution<double> gamma(alpha, 1.0);
+  std::vector<double> out(dim);
+  double total = 0.0;
+  for (auto& x : out) {
+    x = gamma(engine_);
+    total += x;
+  }
+  if (total <= 0.0) {
+    // Extremely small alpha can underflow every gamma draw; fall back to
+    // a one-hot sample, which is the correct limiting distribution.
+    std::fill(out.begin(), out.end(), 0.0);
+    out[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(dim) - 1))] =
+        1.0;
+    return out;
+  }
+  for (auto& x : out) x /= total;
+  return out;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+std::uint64_t Rng::split_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace baffle

@@ -1,0 +1,93 @@
+#include "util/serialization.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace baffle {
+
+namespace {
+template <typename T>
+void append_le(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_integral_v<T> && std::is_unsigned_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+template <typename T>
+T read_le(std::span<const std::uint8_t> bytes, std::size_t pos) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(bytes[pos + i]) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+void ByteWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+void ByteWriter::u32(std::uint32_t v) { append_le(bytes_, v); }
+void ByteWriter::u64(std::uint64_t v) { append_le(bytes_, v); }
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+void ByteWriter::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::f32_span(std::span<const float> v) {
+  u64(v.size());
+  for (float x : v) f32(x);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteReader::need(std::size_t n) {
+  if (remaining() < n) throw std::out_of_range("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  const auto v = read_le<std::uint32_t>(bytes_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  const auto v = read_le<std::uint64_t>(bytes_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+float ByteReader::f32() { return std::bit_cast<float>(u32()); }
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::vector<float> ByteReader::f32_vec() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 4) {
+    throw std::runtime_error("ByteReader: implausible f32 vector length");
+  }
+  std::vector<float> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(f32());
+  return out;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) {
+    throw std::runtime_error("ByteReader: implausible string length");
+  }
+  need(n);
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace baffle

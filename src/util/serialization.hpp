@@ -1,0 +1,62 @@
+#pragma once
+// Byte-level serialization used by the model codec and the
+// communication-accounting layer (§VI-D reproduces the history-transfer
+// overhead, so model byte sizes must be real, not estimated).
+//
+// Format: little-endian, fixed-width primitives, length-prefixed
+// containers. No alignment assumptions; safe across the processes of the
+// simulated deployment.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace baffle {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f32(float v);
+  void f64(double v);
+  void f32_span(std::span<const float> v);  // length-prefixed
+  void str(const std::string& s);           // length-prefixed
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Throws std::out_of_range on truncated input and std::runtime_error on
+/// malformed length prefixes.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  float f32();
+  double f64();
+  std::vector<float> f32_vec();
+  std::string str();
+
+  bool done() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void need(std::size_t n);
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace baffle

@@ -1,0 +1,32 @@
+#pragma once
+// Small descriptive-statistics helpers used by the experiment harness
+// (mean ± std rows in the paper tables) and by the LOF/threshold logic.
+
+#include <span>
+#include <vector>
+
+namespace baffle {
+
+double mean(std::span<const double> xs);
+
+/// Population standard deviation (the paper reports +/- over 5 runs; with
+/// so few samples the authors' convention, numpy's default, is ddof=0).
+double stddev(std::span<const double> xs);
+
+double median(std::vector<double> xs);  // by value: needs to sort
+
+/// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::vector<double> xs, double q);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Aggregate of repeated scalar measurements.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+MeanStd mean_std(std::span<const double> xs);
+
+}  // namespace baffle

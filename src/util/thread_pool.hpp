@@ -1,0 +1,58 @@
+#pragma once
+// Fixed-size thread pool with a `parallel_for` helper.
+//
+// FL rounds train each selected client independently; the pool lets a
+// round's local-training jobs (and experiment repetitions) run
+// concurrently. Determinism is preserved by handing each job a
+// pre-forked Rng rather than sharing one.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace baffle {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (default: hardware concurrency, at
+  /// least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a job; the returned future resolves when it completes.
+  std::future<void> submit(std::function<void()> job);
+
+  /// Run fn(i) for i in [0, n), blocking until all iterations finish.
+  /// Exceptions thrown by iterations propagate (the first one observed).
+  /// Safe to call from inside pool tasks (nested fork-join): while
+  /// waiting, the caller helps drain the queue instead of blocking, so
+  /// saturating the pool with outer loops cannot deadlock inner ones.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Pops and runs one queued task if any; returns whether it did.
+  bool try_run_one();
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace baffle

@@ -1,0 +1,66 @@
+#include "baselines/flguard_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace baffle {
+namespace {
+
+TEST(FlGuardLite, RejectsBadConfig) {
+  EXPECT_THROW(FlGuardLiteAggregator(1.0), std::invalid_argument);
+  EXPECT_THROW(FlGuardLiteAggregator(-0.1), std::invalid_argument);
+  EXPECT_THROW(FlGuardLiteAggregator(0.25, -1.0), std::invalid_argument);
+}
+
+TEST(FlGuardLite, FilterDropsMisalignedUpdate) {
+  Rng rng(1);
+  std::vector<ParamVec> updates;
+  for (int i = 0; i < 7; ++i) {
+    ParamVec u{1.0f, 1.0f, 0.0f};
+    u[0] += static_cast<float>(rng.normal(0.0, 0.05));
+    updates.push_back(std::move(u));
+  }
+  updates.push_back({-5.0f, -5.0f, 0.0f});  // opposite direction
+  const FlGuardLiteAggregator agg(0.2, 0.0);
+  const auto kept = agg.filter(updates);
+  EXPECT_EQ(std::count(kept.begin(), kept.end(), 7u), 0);
+}
+
+TEST(FlGuardLite, ClipsBoostedUpdate) {
+  std::vector<ParamVec> updates(9, ParamVec{0.5f});
+  updates.push_back(ParamVec{500.0f});
+  // No filtering, no noise: pure clipping behaviour.
+  const FlGuardLiteAggregator agg(0.0, 0.0);
+  EXPECT_LT(agg.aggregate(updates)[0], 1.0f);
+}
+
+TEST(FlGuardLite, NoiseIsBoundedAndDeterministic) {
+  const std::vector<ParamVec> updates(5, ParamVec{1.0f, 1.0f});
+  const FlGuardLiteAggregator agg(0.0, 0.05, /*seed=*/42);
+  const ParamVec a = agg.aggregate(updates);
+  const ParamVec b = agg.aggregate(updates);
+  EXPECT_EQ(a, b);  // deterministic noise
+  // Mean preserved up to the small noise.
+  EXPECT_NEAR(a[0], 1.0f, 0.3f);
+}
+
+TEST(FlGuardLite, EmptyThrows) {
+  const FlGuardLiteAggregator agg;
+  EXPECT_THROW(agg.aggregate({}), std::invalid_argument);
+}
+
+TEST(FlGuardLite, SingleUpdateSurvivesFiltering) {
+  const std::vector<ParamVec> updates{{2.0f}};
+  const FlGuardLiteAggregator agg(0.9, 0.0);
+  EXPECT_EQ(agg.filter(updates).size(), 1u);
+  EXPECT_NO_THROW(agg.aggregate(updates));
+}
+
+TEST(FlGuardLite, NameStable) {
+  EXPECT_EQ(FlGuardLiteAggregator().name(), "flguard-lite");
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,86 @@
+#include "baselines/foolsgold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace baffle {
+namespace {
+
+ParamVec noisy(std::initializer_list<float> base, Rng& rng,
+               double sigma = 0.05) {
+  ParamVec out(base);
+  for (auto& x : out) x += static_cast<float>(rng.normal(0.0, sigma));
+  return out;
+}
+
+TEST(FoolsGold, DownweightsSybilGroup) {
+  Rng rng(1);
+  FoolsGold fg;
+  // 5 honest clients pushing diverse directions, 3 sybils pushing the
+  // same direction. Accumulate over several rounds so histories align.
+  std::vector<std::size_t> ids{0, 1, 2, 3, 4, 10, 11, 12};
+  for (int round = 0; round < 5; ++round) {
+    std::vector<ParamVec> updates;
+    updates.push_back(noisy({1.0f, 0.0f, 0.0f, 0.0f}, rng));
+    updates.push_back(noisy({0.0f, 1.0f, 0.0f, 0.0f}, rng));
+    updates.push_back(noisy({0.0f, 0.0f, 1.0f, 0.0f}, rng));
+    updates.push_back(noisy({0.0f, 0.0f, 0.0f, 1.0f}, rng));
+    updates.push_back(noisy({-1.0f, 0.0f, 0.0f, 0.0f}, rng));
+    for (int s = 0; s < 3; ++s) {
+      updates.push_back(noisy({5.0f, 5.0f, 5.0f, 5.0f}, rng, 0.01));
+    }
+    fg.aggregate(updates, ids);
+  }
+  const auto& w = fg.last_weights();
+  ASSERT_EQ(w.size(), 8u);
+  double honest_avg = 0.0, sybil_avg = 0.0;
+  for (int i = 0; i < 5; ++i) honest_avg += w[i] / 5.0;
+  for (int i = 5; i < 8; ++i) sybil_avg += w[i] / 3.0;
+  EXPECT_GT(honest_avg, 5.0 * std::max(sybil_avg, 1e-3));
+}
+
+TEST(FoolsGold, SingleAttackerNotPenalized) {
+  // The paper's point: FoolsGold needs a sybil *group*; one attacker
+  // among diverse clients keeps full weight.
+  Rng rng(2);
+  FoolsGold fg;
+  std::vector<std::size_t> ids{0, 1, 2, 3};
+  for (int round = 0; round < 4; ++round) {
+    std::vector<ParamVec> updates;
+    updates.push_back(noisy({1.0f, 0.0f, 0.0f, 0.0f}, rng));
+    updates.push_back(noisy({0.0f, 1.0f, 0.0f, 0.0f}, rng));
+    updates.push_back(noisy({0.0f, 0.0f, 1.0f, 0.0f}, rng));
+    // Lone attacker pushing its own direction — no sybil group whose
+    // mutual similarity FoolsGold could latch onto.
+    updates.push_back(noisy({0.0f, 0.0f, 0.0f, 9.0f}, rng));
+    fg.aggregate(updates, ids);
+  }
+  EXPECT_GT(fg.last_weights()[3], 0.5);
+}
+
+TEST(FoolsGold, OutputHasUpdateDimension) {
+  FoolsGold fg;
+  const std::vector<ParamVec> updates{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  const ParamVec out = fg.aggregate(updates, {0, 1});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(FoolsGold, RejectsBadInputs) {
+  FoolsGold fg;
+  EXPECT_THROW(fg.aggregate({}, {}), std::invalid_argument);
+  EXPECT_THROW(fg.aggregate({{1.0f}}, {0, 1}), std::invalid_argument);
+}
+
+TEST(FoolsGold, MemoryPersistsAcrossRounds) {
+  Rng rng(3);
+  FoolsGold fg;
+  const std::vector<std::size_t> ids{0, 1};
+  fg.aggregate({noisy({1, 0}, rng), noisy({0, 1}, rng)}, ids);
+  fg.aggregate({noisy({1, 0}, rng), noisy({0, 1}, rng)}, ids);
+  // Orthogonal histories: both keep near-full weight.
+  for (double w : fg.last_weights()) EXPECT_GT(w, 0.5);
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,90 @@
+#include "baselines/krum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace baffle {
+namespace {
+
+std::vector<ParamVec> cluster_with_outlier(std::size_t n, Rng& rng,
+                                           std::size_t outlier_at) {
+  std::vector<ParamVec> updates;
+  for (std::size_t i = 0; i < n; ++i) {
+    ParamVec u(4);
+    for (auto& x : u) {
+      x = static_cast<float>(rng.normal(i == outlier_at ? 100.0 : 0.0, 0.1));
+    }
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+TEST(Krum, SelectsFromHonestCluster) {
+  Rng rng(1);
+  const auto updates = cluster_with_outlier(8, rng, 3);
+  const KrumAggregator krum(1);
+  EXPECT_NE(krum.select(updates), 3u);
+}
+
+TEST(Krum, AggregateReturnsSelectedUpdate) {
+  Rng rng(2);
+  const auto updates = cluster_with_outlier(8, rng, 0);
+  const KrumAggregator krum(1);
+  EXPECT_EQ(krum.aggregate(updates), updates[krum.select(updates)]);
+}
+
+TEST(Krum, NeedsEnoughUpdates) {
+  Rng rng(3);
+  const auto updates = cluster_with_outlier(3, rng, 0);
+  const KrumAggregator krum(1);  // needs n >= f + 3 = 4
+  EXPECT_THROW(krum.aggregate(updates), std::invalid_argument);
+}
+
+TEST(Krum, MultiKrumAveragesBest) {
+  Rng rng(4);
+  const auto updates = cluster_with_outlier(8, rng, 5);
+  const KrumAggregator multi(1, /*multi=*/true);
+  const ParamVec agg = multi.aggregate(updates);
+  // Average of honest cluster stays near 0; the 100-outlier must be
+  // excluded.
+  for (float x : agg) EXPECT_LT(std::abs(x), 1.0f);
+}
+
+TEST(Krum, MultiKrumExcludesBoostedUpdate) {
+  Rng rng(5);
+  auto updates = cluster_with_outlier(10, rng, 9);
+  const KrumAggregator multi(2, true);
+  const ParamVec agg = multi.aggregate(updates);
+  for (float x : agg) EXPECT_LT(std::abs(x), 1.0f);
+}
+
+TEST(Krum, Names) {
+  EXPECT_EQ(KrumAggregator(1).name(), "krum");
+  EXPECT_EQ(KrumAggregator(1, true).name(), "multi-krum");
+}
+
+TEST(Krum, KEY_LIMITATION_SybilMajorityShiftsSelection) {
+  // The failure mode the paper's related work points at: if the
+  // attacker's updates form the tightest cluster (sybils submitting the
+  // same vector), Krum selects a malicious update.
+  Rng rng(6);
+  std::vector<ParamVec> updates;
+  for (int i = 0; i < 4; ++i) {
+    // Honest but spread out (non-IID clients disagree).
+    ParamVec u(4);
+    for (auto& x : u) x = static_cast<float>(rng.normal(0.0, 5.0));
+    updates.push_back(std::move(u));
+  }
+  for (int i = 0; i < 3; ++i) {
+    // Sybils: nearly identical poisoned updates.
+    ParamVec u(4, 10.0f);
+    u[0] += static_cast<float>(rng.normal(0.0, 0.01));
+    updates.push_back(std::move(u));
+  }
+  const KrumAggregator krum(1);
+  EXPECT_GE(krum.select(updates), 4u);  // a sybil wins
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,51 @@
+#include "baselines/median.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+TEST(CoordMedian, OddCountExactMedian) {
+  const std::vector<ParamVec> updates{{1.0f, 10.0f},
+                                      {2.0f, 20.0f},
+                                      {3.0f, 30.0f}};
+  const CoordinateMedianAggregator agg;
+  EXPECT_EQ(agg.aggregate(updates), (ParamVec{2.0f, 20.0f}));
+}
+
+TEST(CoordMedian, EvenCountAveragesMiddle) {
+  const std::vector<ParamVec> updates{{1.0f}, {2.0f}, {3.0f}, {10.0f}};
+  const CoordinateMedianAggregator agg;
+  EXPECT_EQ(agg.aggregate(updates), (ParamVec{2.5f}));
+}
+
+TEST(CoordMedian, RobustToSingleBoostedUpdate) {
+  std::vector<ParamVec> updates(9, ParamVec{1.0f, -1.0f});
+  updates.push_back(ParamVec{1000.0f, -1000.0f});
+  const CoordinateMedianAggregator agg;
+  const ParamVec out = agg.aggregate(updates);
+  EXPECT_NEAR(out[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(out[1], -1.0f, 1e-6f);
+}
+
+TEST(CoordMedian, SingleUpdateIdentity) {
+  const std::vector<ParamVec> updates{{4.0f, 5.0f}};
+  const CoordinateMedianAggregator agg;
+  EXPECT_EQ(agg.aggregate(updates), updates[0]);
+}
+
+TEST(CoordMedian, EmptyThrows) {
+  const CoordinateMedianAggregator agg;
+  EXPECT_THROW(agg.aggregate({}), std::invalid_argument);
+}
+
+TEST(CoordMedian, CoordinatesIndependent) {
+  const std::vector<ParamVec> updates{{0.0f, 100.0f},
+                                      {1.0f, 0.0f},
+                                      {100.0f, 1.0f}};
+  const CoordinateMedianAggregator agg;
+  EXPECT_EQ(agg.aggregate(updates), (ParamVec{1.0f, 1.0f}));
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,58 @@
+#include "baselines/norm_clip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+namespace {
+
+TEST(NormClip, FixedBoundClipsLargeUpdate) {
+  const std::vector<ParamVec> updates{{3.0f, 4.0f}};  // norm 5
+  const NormClipAggregator agg(1.0);
+  const ParamVec out = agg.aggregate(updates);
+  EXPECT_NEAR(l2_norm(out), 1.0f, 1e-5f);
+  // Direction preserved.
+  EXPECT_NEAR(out[0] / out[1], 0.75f, 1e-5f);
+}
+
+TEST(NormClip, SmallUpdatesUntouched) {
+  const std::vector<ParamVec> updates{{0.1f, 0.0f}, {0.0f, 0.2f}};
+  const NormClipAggregator agg(10.0);
+  const ParamVec out = agg.aggregate(updates);
+  EXPECT_NEAR(out[0], 0.05f, 1e-6f);
+  EXPECT_NEAR(out[1], 0.1f, 1e-6f);
+}
+
+TEST(NormClip, AdaptiveBoundUsesMedianNorm) {
+  // 4 updates of norm 1, one boosted to norm 1000: median bound = 1, so
+  // the boosted update contributes at most norm 1.
+  std::vector<ParamVec> updates(4, ParamVec{1.0f, 0.0f});
+  updates.push_back(ParamVec{1000.0f, 0.0f});
+  const NormClipAggregator agg;  // adaptive
+  const ParamVec out = agg.aggregate(updates);
+  EXPECT_NEAR(out[0], (4.0f + 1.0f) / 5.0f, 1e-4f);
+}
+
+TEST(NormClip, BoostedReplacementBlunted) {
+  // Property the paper cares about: clipping caps the influence of a
+  // γ-boosted update to the same magnitude as an honest one.
+  std::vector<ParamVec> updates(9, ParamVec{0.1f});
+  updates.push_back(ParamVec{100.0f});  // γ-boosted poison
+  const NormClipAggregator agg;
+  EXPECT_LT(agg.aggregate(updates)[0], 0.2f);
+}
+
+TEST(NormClip, EmptyThrows) {
+  const NormClipAggregator agg;
+  EXPECT_THROW(agg.aggregate({}), std::invalid_argument);
+}
+
+TEST(NormClip, AllZeroUpdatesSafe) {
+  const std::vector<ParamVec> updates{{0.0f}, {0.0f}};
+  const NormClipAggregator agg;  // adaptive bound would be 0 -> fallback
+  EXPECT_EQ(agg.aggregate(updates), (ParamVec{0.0f}));
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,64 @@
+#include "baselines/rfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace baffle {
+namespace {
+
+TEST(Rfa, SinglePointIsFixedPoint) {
+  const std::vector<ParamVec> updates{{3.0f, -1.0f}};
+  const RfaAggregator rfa;
+  const ParamVec out = rfa.aggregate(updates);
+  EXPECT_NEAR(out[0], 3.0f, 1e-4f);
+  EXPECT_NEAR(out[1], -1.0f, 1e-4f);
+}
+
+TEST(Rfa, SymmetricPointsGiveCentroid) {
+  const std::vector<ParamVec> updates{{1.0f, 0.0f},
+                                      {-1.0f, 0.0f},
+                                      {0.0f, 1.0f},
+                                      {0.0f, -1.0f}};
+  const RfaAggregator rfa(32);
+  const ParamVec out = rfa.aggregate(updates);
+  EXPECT_NEAR(out[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(out[1], 0.0f, 1e-3f);
+}
+
+TEST(Rfa, GeometricMedianResistsOutlierBetterThanMean) {
+  std::vector<ParamVec> updates(9, ParamVec{0.0f});
+  updates.push_back(ParamVec{900.0f});
+  const RfaAggregator rfa(64);
+  const ParamVec robust = rfa.aggregate(updates);
+  const ParamVec naive = mean_update(updates);  // = 90
+  EXPECT_LT(std::abs(robust[0]), std::abs(naive[0]) / 10.0f);
+}
+
+TEST(Rfa, CollinearMajorityWins) {
+  Rng rng(1);
+  std::vector<ParamVec> updates;
+  for (int i = 0; i < 8; ++i) {
+    updates.push_back({static_cast<float>(rng.normal(5.0, 0.1))});
+  }
+  updates.push_back({-1000.0f});
+  const RfaAggregator rfa(64);
+  EXPECT_NEAR(rfa.aggregate(updates)[0], 5.0f, 0.5f);
+}
+
+TEST(Rfa, EmptyThrows) {
+  const RfaAggregator rfa;
+  EXPECT_THROW(rfa.aggregate({}), std::invalid_argument);
+}
+
+TEST(Rfa, ZeroIterationsRejected) {
+  EXPECT_THROW(RfaAggregator(0), std::invalid_argument);
+}
+
+TEST(Rfa, NameStable) {
+  EXPECT_EQ(RfaAggregator().name(), "rfa");
+}
+
+}  // namespace
+}  // namespace baffle

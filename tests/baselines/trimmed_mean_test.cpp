@@ -1,0 +1,47 @@
+#include "baselines/trimmed_mean.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+TEST(TrimmedMean, DropsExtremes) {
+  const std::vector<ParamVec> updates{{0.0f}, {1.0f}, {2.0f}, {3.0f},
+                                      {1000.0f}};
+  const TrimmedMeanAggregator agg(1);
+  EXPECT_EQ(agg.aggregate(updates), (ParamVec{2.0f}));  // mean of 1,2,3
+}
+
+TEST(TrimmedMean, ZeroTrimIsPlainMean) {
+  const std::vector<ParamVec> updates{{1.0f}, {3.0f}};
+  const TrimmedMeanAggregator agg(0);
+  EXPECT_EQ(agg.aggregate(updates), (ParamVec{2.0f}));
+}
+
+TEST(TrimmedMean, RequiresEnoughUpdates) {
+  const std::vector<ParamVec> updates{{1.0f}, {2.0f}};
+  const TrimmedMeanAggregator agg(1);
+  EXPECT_THROW(agg.aggregate(updates), std::invalid_argument);
+}
+
+TEST(TrimmedMean, BoostedUpdateNeutralized) {
+  std::vector<ParamVec> updates(8, ParamVec{1.0f});
+  updates.push_back(ParamVec{-500.0f});
+  updates.push_back(ParamVec{500.0f});
+  const TrimmedMeanAggregator agg(1);
+  EXPECT_NEAR(agg.aggregate(updates)[0], 1.0f, 1e-6f);
+}
+
+TEST(TrimmedMean, PerCoordinateTrimming) {
+  const std::vector<ParamVec> updates{
+      {100.0f, 0.0f}, {0.0f, 100.0f}, {1.0f, 1.0f}, {2.0f, 2.0f},
+      {-50.0f, -50.0f}};
+  const TrimmedMeanAggregator agg(1);
+  const ParamVec out = agg.aggregate(updates);
+  // Per coordinate, 100 and -50 are trimmed.
+  EXPECT_NEAR(out[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(out[1], 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,81 @@
+#include "core/error_variation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+ConfusionMatrix cm_from(std::initializer_list<std::pair<int, int>> pairs,
+                        std::size_t classes = 3) {
+  ConfusionMatrix cm(classes);
+  for (const auto& [t, p] : pairs) cm.record(t, p);
+  return cm;
+}
+
+TEST(ErrorVariation, IdenticalModelsGiveZeroVector) {
+  const auto cm = cm_from({{0, 0}, {1, 2}, {2, 2}});
+  const VariationPoint v = error_variation(cm, cm);
+  ASSERT_EQ(v.size(), 6u);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(ErrorVariation, DimensionIsTwiceNumClasses) {
+  const auto cm = cm_from({{0, 0}}, 5);
+  EXPECT_EQ(error_variation(cm, cm).size(), 10u);
+}
+
+TEST(ErrorVariation, ImprovementIsPositive) {
+  // Older model misreads class 0; newer fixes it. v^s_0 = err_old -
+  // err_new > 0.
+  const auto older = cm_from({{0, 1}, {1, 1}, {2, 2}, {0, 0}});
+  const auto newer = cm_from({{0, 0}, {1, 1}, {2, 2}, {0, 0}});
+  const VariationPoint v = error_variation(older, newer);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);   // source-focused, class 0
+  EXPECT_DOUBLE_EQ(v[3 + 1], 0.25);  // target-focused, class 1
+}
+
+TEST(ErrorVariation, RegressionIsNegative) {
+  const auto older = cm_from({{0, 0}, {1, 1}});
+  const auto newer = cm_from({{0, 1}, {1, 1}});
+  const VariationPoint v = error_variation(older, newer);
+  EXPECT_DOUBLE_EQ(v[0], -0.5);
+}
+
+TEST(ErrorVariation, BackdooredModelShiftsSourceAndTargetClasses) {
+  // Clean model: everything right. Backdoored model: class 1 (source)
+  // samples get labelled 2 (target) — the label-flip signature.
+  ConfusionMatrix clean(3), poisoned(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      clean.record(c, c);
+      poisoned.record(c, c == 1 ? 2 : c);
+    }
+  }
+  const VariationPoint v = error_variation(clean, poisoned);
+  EXPECT_LT(v[1], 0.0);       // source class error increased
+  EXPECT_LT(v[3 + 2], 0.0);   // target class absorbs wrong predictions
+  EXPECT_DOUBLE_EQ(v[0], 0.0);  // untouched classes unchanged
+}
+
+TEST(ErrorVariation, MismatchedClassCountsThrow) {
+  const ConfusionMatrix a(2), b(3);
+  EXPECT_THROW(error_variation(a, b), std::invalid_argument);
+}
+
+TEST(VariationDistance, EuclideanBasics) {
+  const VariationPoint a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(variation_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(variation_distance(a, a), 0.0);
+}
+
+TEST(VariationDistance, Symmetric) {
+  const VariationPoint a{1.0, -2.0, 0.5}, b{0.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(variation_distance(a, b), variation_distance(b, a));
+}
+
+TEST(VariationDistance, DimMismatchThrows) {
+  EXPECT_THROW(variation_distance({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace baffle

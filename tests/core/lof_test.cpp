@@ -1,0 +1,160 @@
+#include "core/lof.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace baffle {
+namespace {
+
+std::vector<VariationPoint> uniform_cluster(std::size_t n, Rng& rng,
+                                            double spread = 1.0) {
+  std::vector<VariationPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(-spread, spread),
+                      rng.uniform(-spread, spread)});
+  }
+  return points;
+}
+
+TEST(Lof, InlierScoresNearOne) {
+  Rng rng(1);
+  const auto cluster = uniform_cluster(30, rng);
+  const VariationPoint inlier{0.0, 0.0};
+  const double score = lof_score(inlier, cluster, 5);
+  EXPECT_GT(score, 0.7);
+  EXPECT_LT(score, 1.4);
+}
+
+TEST(Lof, FarOutlierScoresHigh) {
+  Rng rng(2);
+  const auto cluster = uniform_cluster(30, rng);
+  const VariationPoint outlier{100.0, 100.0};
+  EXPECT_GT(lof_score(outlier, cluster, 5), 5.0);
+}
+
+TEST(Lof, ScoreIncreasesWithDistance) {
+  Rng rng(3);
+  const auto cluster = uniform_cluster(25, rng);
+  double prev = 0.0;
+  for (double d : {2.0, 5.0, 20.0, 100.0}) {
+    const double score = lof_score({d, 0.0}, cluster, 5);
+    EXPECT_GT(score, prev);
+    prev = score;
+  }
+}
+
+TEST(Lof, PermutationInvariant) {
+  Rng rng(4);
+  auto cluster = uniform_cluster(20, rng);
+  const VariationPoint q{3.0, -1.0};
+  const double before = lof_score(q, cluster, 4);
+  Rng shuffle_rng(5);
+  shuffle_rng.shuffle(cluster);
+  EXPECT_DOUBLE_EQ(lof_score(q, cluster, 4), before);
+}
+
+TEST(Lof, DuplicateReferencePointsHandled) {
+  // All reference points identical: a coincident query is not an
+  // outlier; a distant one is.
+  const std::vector<VariationPoint> dup(10, VariationPoint{1.0, 1.0});
+  EXPECT_NEAR(lof_score({1.0, 1.0}, dup, 3), 1.0, 1e-6);
+  EXPECT_GT(lof_score({50.0, 50.0}, dup, 3), 10.0);
+}
+
+TEST(Lof, KClampedToReferenceSize) {
+  Rng rng(6);
+  const auto cluster = uniform_cluster(5, rng);
+  // k = 100 >> |ref| - 1; must not throw.
+  EXPECT_NO_THROW(lof_score({0.0, 0.0}, cluster, 100));
+}
+
+TEST(Lof, TooFewReferencePointsThrow) {
+  const std::vector<VariationPoint> one{{0.0, 0.0}};
+  EXPECT_THROW(lof_score({1.0, 1.0}, one, 2), std::invalid_argument);
+}
+
+TEST(Lof, TwoClusterStructure) {
+  // Query near the dense cluster is an inlier even if a sparse cluster
+  // exists elsewhere — LOF is *local*.
+  Rng rng(7);
+  std::vector<VariationPoint> points;
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5)});
+  }
+  for (int i = 0; i < 5; ++i) {
+    points.push_back(
+        {100.0 + rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)});
+  }
+  EXPECT_LT(lof_score({0.0, 0.0}, points, 5), 1.5);
+  // A point between the clusters is an outlier w.r.t. both.
+  EXPECT_GT(lof_score({50.0, 0.0}, points, 5), 2.0);
+}
+
+TEST(Lof, HigherDimensionalPoints) {
+  Rng rng(8);
+  std::vector<VariationPoint> points;
+  for (int i = 0; i < 30; ++i) {
+    VariationPoint p(20);
+    for (auto& x : p) x = rng.normal(0.0, 0.1);
+    points.push_back(std::move(p));
+  }
+  VariationPoint inlier(20, 0.0), outlier(20, 5.0);
+  EXPECT_LT(lof_score(inlier, points, 10), 1.5);
+  EXPECT_GT(lof_score(outlier, points, 10), 3.0);
+}
+
+TEST(Lof, ScaleInvariant) {
+  // LOF is a ratio of local densities: uniformly scaling every point
+  // (and the query) must leave the score unchanged.
+  Rng rng(9);
+  const auto cluster = uniform_cluster(20, rng);
+  const VariationPoint q{4.0, -2.0};
+  const double base = lof_score(q, cluster, 5);
+  for (double factor : {0.01, 7.0, 1000.0}) {
+    std::vector<VariationPoint> scaled = cluster;
+    VariationPoint qs = q;
+    for (auto& p : scaled) {
+      for (auto& x : p) x *= factor;
+    }
+    for (auto& x : qs) x *= factor;
+    EXPECT_NEAR(lof_score(qs, scaled, 5), base, 1e-9 * base + 1e-9)
+        << "factor " << factor;
+  }
+}
+
+TEST(Lof, TranslationInvariant) {
+  Rng rng(10);
+  const auto cluster = uniform_cluster(20, rng);
+  const VariationPoint q{4.0, -2.0};
+  const double base = lof_score(q, cluster, 5);
+  std::vector<VariationPoint> shifted = cluster;
+  VariationPoint qs = q;
+  for (auto& p : shifted) {
+    p[0] += 100.0;
+    p[1] -= 50.0;
+  }
+  qs[0] += 100.0;
+  qs[1] -= 50.0;
+  EXPECT_NEAR(lof_score(qs, shifted, 5), base, 1e-9);
+}
+
+/// Property sweep over k: outlier score must dominate inlier score.
+class LofKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LofKSweep, OutlierAlwaysScoresAboveInlier) {
+  const std::size_t k = GetParam();
+  Rng rng(100 + k);
+  const auto cluster = uniform_cluster(25, rng);
+  const double inlier = lof_score({0.1, 0.1}, cluster, k);
+  const double outlier = lof_score({30.0, 30.0}, cluster, k);
+  EXPECT_GT(outlier, 2.0 * inlier) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, LofKSweep,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 12,
+                                                        20, 24));
+
+}  // namespace
+}  // namespace baffle

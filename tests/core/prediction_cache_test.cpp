@@ -1,0 +1,70 @@
+#include "core/prediction_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+ConfusionMatrix cm_with(int t, int p) {
+  ConfusionMatrix cm(3);
+  cm.record(t, p);
+  return cm;
+}
+
+TEST(PredictionCache, MissThenHit) {
+  PredictionCache cache;
+  int evals = 0;
+  const auto eval = [&] {
+    ++evals;
+    return cm_with(0, 0);
+  };
+  cache.get_or_eval(7, eval);
+  cache.get_or_eval(7, eval);
+  EXPECT_EQ(evals, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PredictionCache, DistinctVersionsEvaluatedSeparately) {
+  PredictionCache cache;
+  int evals = 0;
+  for (std::uint64_t v : {1u, 2u, 3u}) {
+    cache.get_or_eval(v, [&] {
+      ++evals;
+      return cm_with(0, 0);
+    });
+  }
+  EXPECT_EQ(evals, 3);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PredictionCache, FindReturnsStoredMatrix) {
+  PredictionCache cache;
+  cache.insert(5, cm_with(1, 2));
+  const ConfusionMatrix* found = cache.find(5);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count(1, 2), 1u);
+  EXPECT_EQ(cache.find(6), nullptr);
+}
+
+TEST(PredictionCache, EvictsSmallestVersionWhenFull) {
+  PredictionCache cache(3);
+  cache.insert(10, cm_with(0, 0));
+  cache.insert(11, cm_with(0, 0));
+  cache.insert(12, cm_with(0, 0));
+  cache.insert(13, cm_with(0, 0));  // evicts 10
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.find(10), nullptr);
+  EXPECT_NE(cache.find(13), nullptr);
+}
+
+TEST(PredictionCache, InsertOverwritesSameVersion) {
+  PredictionCache cache;
+  cache.insert(1, cm_with(0, 0));
+  cache.insert(1, cm_with(2, 2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(1)->count(2, 2), 1u);
+}
+
+}  // namespace
+}  // namespace baffle

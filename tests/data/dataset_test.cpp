@@ -1,0 +1,122 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+Dataset make_small() {
+  Dataset d(2, 3);
+  d.add({{1.0f, 2.0f}, 0});
+  d.add({{3.0f, 4.0f}, 1});
+  d.add({{5.0f, 6.0f}, 2});
+  d.add({{7.0f, 8.0f}, 1});
+  return d;
+}
+
+TEST(Dataset, AddValidatesDimAndLabel) {
+  Dataset d(2, 3);
+  EXPECT_THROW(d.add({{1.0f}, 0}), std::invalid_argument);
+  EXPECT_THROW(d.add({{1.0f, 2.0f}, 3}), std::invalid_argument);
+  EXPECT_THROW(d.add({{1.0f, 2.0f}, -1}), std::invalid_argument);
+  EXPECT_NO_THROW(d.add({{1.0f, 2.0f}, 2}));
+}
+
+TEST(Dataset, FeaturesAndLabelsAligned) {
+  const Dataset d = make_small();
+  const Matrix x = d.features();
+  const auto y = d.labels();
+  ASSERT_EQ(x.rows(), 4u);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_EQ(x.at(1, 0), 3.0f);
+  EXPECT_EQ(y[1], 1);
+}
+
+TEST(Dataset, ClassCounts) {
+  const Dataset d = make_small();
+  const auto counts = d.class_counts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(Dataset, SubsetSelectsByIndex) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> idx{3, 0};
+  const Dataset s = d.subset(idx);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].y, 1);
+  EXPECT_EQ(s[1].y, 0);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> idx{99};
+  EXPECT_THROW(d.subset(idx), std::out_of_range);
+}
+
+TEST(Dataset, FilterClass) {
+  const Dataset d = make_small();
+  const Dataset ones = d.filter_class(1);
+  EXPECT_EQ(ones.size(), 2u);
+  for (const auto& ex : ones.examples()) EXPECT_EQ(ex.y, 1);
+}
+
+TEST(Dataset, MergeRequiresCompatibleShape) {
+  Dataset d = make_small();
+  Dataset incompatible(3, 3);
+  EXPECT_THROW(d.merge(incompatible), std::invalid_argument);
+  Dataset other(2, 3);
+  other.add({{0.0f, 0.0f}, 0});
+  d.merge(other);
+  EXPECT_EQ(d.size(), 5u);
+}
+
+TEST(Dataset, SplitPartitionsAll) {
+  Dataset d(1, 2);
+  for (int i = 0; i < 100; ++i) d.add({{static_cast<float>(i)}, i % 2});
+  Rng rng(1);
+  const auto [a, b] = d.split(0.3, rng);
+  EXPECT_EQ(a.size(), 30u);
+  EXPECT_EQ(b.size(), 70u);
+}
+
+TEST(Dataset, SplitRejectsBadFraction) {
+  const Dataset d = make_small();
+  Rng rng(1);
+  EXPECT_THROW(d.split(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(d.split(1.1, rng), std::invalid_argument);
+}
+
+TEST(Dataset, SplitIsDisjointCover) {
+  Dataset d(1, 2);
+  for (int i = 0; i < 50; ++i) d.add({{static_cast<float>(i)}, 0});
+  Rng rng(2);
+  const auto [a, b] = d.split(0.5, rng);
+  std::vector<float> seen;
+  for (const auto& ex : a.examples()) seen.push_back(ex.x[0]);
+  for (const auto& ex : b.examples()) seen.push_back(ex.x[0]);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(seen[i], static_cast<float>(i));
+}
+
+TEST(Dataset, SampleDrawsDistinct) {
+  Dataset d(1, 2);
+  for (int i = 0; i < 20; ++i) d.add({{static_cast<float>(i)}, 0});
+  Rng rng(3);
+  const Dataset s = d.sample(5, rng);
+  EXPECT_EQ(s.size(), 5u);
+  std::set<float> unique;
+  for (const auto& ex : s.examples()) unique.insert(ex.x[0]);
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Dataset, ShufflePreservesContent) {
+  Dataset d = make_small();
+  Rng rng(4);
+  auto counts_before = d.class_counts();
+  d.shuffle(rng);
+  EXPECT_EQ(d.class_counts(), counts_before);
+  EXPECT_EQ(d.size(), 4u);
+}
+
+}  // namespace
+}  // namespace baffle

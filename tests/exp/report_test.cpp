@@ -1,0 +1,55 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace baffle {
+namespace {
+
+TEST(Report, FormatMeanStd) {
+  EXPECT_EQ(format_mean_std({0.021, 0.017}), "0.021 +/- 0.017");
+  EXPECT_EQ(format_mean_std({0.0, 0.0}, 1), "0.0 +/- 0.0");
+}
+
+TEST(Report, FormatRate) {
+  EXPECT_EQ(format_rate(0.5), "0.500");
+  EXPECT_EQ(format_rate(1.0, 1), "1.0");
+}
+
+TEST(Report, TextTableAlignsColumns) {
+  TextTable t({"a", "bbbb"});
+  t.row({"xxxxx", "y"});
+  const std::string out = t.render();
+  // Header, separator, one row.
+  EXPECT_NE(out.find("a      bbbb"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx  y"), std::string::npos);
+}
+
+TEST(Report, TextTableRejectsRaggedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.row({"only"}), std::invalid_argument);
+}
+
+TEST(Report, BenchRepsEnvOverride) {
+  setenv("BAFFLE_BENCH_REPS", "7", 1);
+  EXPECT_EQ(bench_reps(), 7u);
+  setenv("BAFFLE_BENCH_REPS", "bogus", 1);
+  EXPECT_EQ(bench_reps(), 3u);  // default on parse failure
+  unsetenv("BAFFLE_BENCH_REPS");
+  EXPECT_EQ(bench_reps(), 3u);
+}
+
+TEST(Report, BenchFastEnv) {
+  unsetenv("BAFFLE_BENCH_FAST");
+  EXPECT_FALSE(bench_fast());
+  setenv("BAFFLE_BENCH_FAST", "1", 1);
+  EXPECT_TRUE(bench_fast());
+  setenv("BAFFLE_BENCH_FAST", "0", 1);
+  EXPECT_FALSE(bench_fast());
+  unsetenv("BAFFLE_BENCH_FAST");
+}
+
+}  // namespace
+}  // namespace baffle

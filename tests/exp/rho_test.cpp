@@ -1,0 +1,67 @@
+#include "exp/rho.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+ExperimentResult with_injections(
+    std::initializer_list<std::pair<std::size_t, std::size_t>>
+        votes_and_voters) {
+  ExperimentResult result;
+  for (const auto& [votes, voters] : votes_and_voters) {
+    InjectionRecord inj;
+    inj.reject_votes = votes;
+    inj.total_voters = voters;
+    result.injections.push_back(inj);
+  }
+  return result;
+}
+
+TEST(RhoEstimate, WorstCaseOverInjections) {
+  const auto runs = std::vector<ExperimentResult>{
+      with_injections({{8, 10}, {5, 10}, {9, 10}})};
+  const RhoEstimate est = estimate_rho(runs);
+  EXPECT_DOUBLE_EQ(est.rho, 0.5);  // worst case: 5/10 wrong
+  EXPECT_NEAR(est.mean_rho, (0.2 + 0.5 + 0.1) / 3.0, 1e-12);
+  EXPECT_EQ(est.injections, 3u);
+}
+
+TEST(RhoEstimate, PaperToleranceNumbers) {
+  // rho = 0.5, n = 10 -> n_M < 10/3 -> 3 tolerable.
+  const auto runs =
+      std::vector<ExperimentResult>{with_injections({{5, 10}})};
+  EXPECT_EQ(estimate_rho(runs).tolerable_malicious, 3u);
+}
+
+TEST(RhoEstimate, AllDetectedGivesZeroRho) {
+  const auto runs =
+      std::vector<ExperimentResult>{with_injections({{10, 10}, {10, 10}})};
+  const RhoEstimate est = estimate_rho(runs);
+  EXPECT_DOUBLE_EQ(est.rho, 0.0);
+  EXPECT_EQ(est.tolerable_malicious, 4u);  // n_M < n/2
+}
+
+TEST(RhoEstimate, EmptyInputsGiveZeroEstimate) {
+  const RhoEstimate est = estimate_rho({});
+  EXPECT_EQ(est.injections, 0u);
+  EXPECT_DOUBLE_EQ(est.rho, 0.0);
+  EXPECT_EQ(est.tolerable_malicious, 0u);
+}
+
+TEST(RhoEstimate, SkipsVoterlessInjections) {
+  const auto runs =
+      std::vector<ExperimentResult>{with_injections({{0, 0}, {7, 10}})};
+  const RhoEstimate est = estimate_rho(runs);
+  EXPECT_EQ(est.injections, 1u);
+  EXPECT_DOUBLE_EQ(est.rho, 0.3);
+}
+
+TEST(RhoEstimate, PoolsAcrossRuns) {
+  const std::vector<ExperimentResult> runs{
+      with_injections({{9, 10}}), with_injections({{6, 10}})};
+  EXPECT_DOUBLE_EQ(estimate_rho(runs).rho, 0.4);
+}
+
+}  // namespace
+}  // namespace baffle

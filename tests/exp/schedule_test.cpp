@@ -1,0 +1,37 @@
+#include "exp/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+TEST(Schedule, StableScenarioRounds) {
+  const auto s = AttackSchedule::stable_scenario();
+  EXPECT_EQ(s.poison_rounds, (std::vector<std::size_t>{30, 35, 40}));
+  EXPECT_FALSE(s.adaptive);
+  EXPECT_TRUE(s.is_poison_round(35));
+  EXPECT_FALSE(s.is_poison_round(36));
+}
+
+TEST(Schedule, EarlyScenarioMatchesPaper) {
+  const auto s = AttackSchedule::early_scenario();
+  // Injections at 100, 300, then every 15 rounds in [530, 680].
+  EXPECT_TRUE(s.is_poison_round(100));
+  EXPECT_TRUE(s.is_poison_round(300));
+  EXPECT_TRUE(s.is_poison_round(530));
+  EXPECT_TRUE(s.is_poison_round(545));
+  EXPECT_TRUE(s.is_poison_round(680));
+  EXPECT_FALSE(s.is_poison_round(695));
+  EXPECT_FALSE(s.is_poison_round(531));
+  // 2 early + 11 late.
+  EXPECT_EQ(s.poison_rounds.size(), 13u);
+}
+
+TEST(Schedule, NoneIsEmpty) {
+  const auto s = AttackSchedule::none();
+  EXPECT_TRUE(s.poison_rounds.empty());
+  EXPECT_FALSE(s.is_poison_round(1));
+}
+
+}  // namespace
+}  // namespace baffle

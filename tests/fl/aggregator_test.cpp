@@ -1,0 +1,63 @@
+#include "fl/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+TEST(FedAvg, ScalesSumByLambdaOverN) {
+  const FedAvgAggregator agg(/*global_lr=*/1.0, /*total_clients=*/100);
+  const std::vector<ParamVec> updates{{10.0f, 0.0f}, {10.0f, 20.0f}};
+  const ParamVec delta = agg.aggregate(updates);
+  EXPECT_FLOAT_EQ(delta[0], 0.2f);   // (10+10)/100
+  EXPECT_FLOAT_EQ(delta[1], 0.2f);   // 20/100
+}
+
+TEST(FedAvg, FullReplacementRegime) {
+  // λ = N/n -> G' = G + mean(U) (full replacement by the mean model).
+  const FedAvgAggregator agg(/*global_lr=*/10.0, /*total_clients=*/100);
+  const std::vector<ParamVec> updates(10, ParamVec{1.0f});
+  const ParamVec delta = agg.aggregate(updates);
+  EXPECT_FLOAT_EQ(delta[0], 1.0f);
+}
+
+TEST(FedAvg, RejectsBadConfig) {
+  EXPECT_THROW(FedAvgAggregator(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(FedAvgAggregator(-1.0, 10), std::invalid_argument);
+  EXPECT_THROW(FedAvgAggregator(1.0, 0), std::invalid_argument);
+}
+
+TEST(FedAvg, EmptyUpdatesThrow) {
+  const FedAvgAggregator agg(1.0, 10);
+  EXPECT_THROW(agg.aggregate({}), std::invalid_argument);
+}
+
+TEST(FedAvg, ReplacementBoostIsNOverLambda) {
+  const FedAvgAggregator agg(/*global_lr=*/2.0, /*total_clients=*/100);
+  EXPECT_DOUBLE_EQ(agg.replacement_boost(10), 50.0);
+}
+
+TEST(FedAvg, BoostedUpdateReplacesModel) {
+  // Property behind model replacement: if the attacker submits
+  // γ(X - G) with γ = N/λ and everyone else submits zero, the aggregate
+  // moves G exactly to X.
+  const double lambda = 1.0;
+  const std::size_t N = 100;
+  const FedAvgAggregator agg(lambda, N);
+  const ParamVec g{1.0f, -2.0f};
+  const ParamVec x{5.0f, 3.0f};
+  const auto gamma = static_cast<float>(agg.replacement_boost(10));
+  std::vector<ParamVec> updates(10, ParamVec{0.0f, 0.0f});
+  updates[4] = {gamma * (x[0] - g[0]), gamma * (x[1] - g[1])};
+  const ParamVec delta = agg.aggregate(updates);
+  EXPECT_NEAR(g[0] + delta[0], x[0], 1e-4f);
+  EXPECT_NEAR(g[1] + delta[1], x[1], 1e-4f);
+}
+
+TEST(FedAvg, NameIsStable) {
+  const FedAvgAggregator agg(1.0, 10);
+  EXPECT_EQ(agg.name(), "fedavg");
+}
+
+}  // namespace
+}  // namespace baffle

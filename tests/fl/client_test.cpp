@@ -1,0 +1,100 @@
+#include "fl/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace baffle {
+namespace {
+
+Dataset blob_data(int label_offset, std::size_t n) {
+  Dataset d(2, 2);
+  Rng rng(42 + label_offset);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = static_cast<int>(i % 2);
+    d.add({{static_cast<float>(rng.normal(y == 0 ? -2 : 2, 0.4)),
+            static_cast<float>(rng.normal())},
+           y});
+  }
+  return d;
+}
+
+Mlp fresh_model() {
+  Mlp m(MlpConfig{{2, 4, 2}, Activation::kRelu});
+  Rng rng(7);
+  m.init(rng);
+  return m;
+}
+
+TEST(FlClient, UpdateHasModelSize) {
+  const FlClient client(3, blob_data(0, 40));
+  Mlp global = fresh_model();
+  Rng rng(1);
+  const ParamVec u = client.compute_update(global, TrainConfig{}, rng);
+  EXPECT_EQ(u.size(), global.num_params());
+  EXPECT_EQ(client.id(), 3u);
+}
+
+TEST(FlClient, UpdateIsNonTrivial) {
+  const FlClient client(0, blob_data(0, 40));
+  Mlp global = fresh_model();
+  Rng rng(2);
+  const ParamVec u = client.compute_update(global, TrainConfig{}, rng);
+  EXPECT_GT(l2_norm(u), 1e-4f);
+}
+
+TEST(FlClient, UpdateDoesNotMutateGlobal) {
+  const FlClient client(0, blob_data(0, 40));
+  Mlp global = fresh_model();
+  const auto before = global.parameters();
+  Rng rng(3);
+  client.compute_update(global, TrainConfig{}, rng);
+  EXPECT_EQ(global.parameters(), before);
+}
+
+TEST(FlClient, EmptyShardYieldsZeroUpdate) {
+  const FlClient client(0, Dataset(2, 2));
+  Mlp global = fresh_model();
+  Rng rng(4);
+  const ParamVec u = client.compute_update(global, TrainConfig{}, rng);
+  for (float x : u) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(FlClient, ApplyingUpdateReproducesLocalModel) {
+  const FlClient client(0, blob_data(0, 60));
+  Mlp global = fresh_model();
+  Rng rng_a(5), rng_b(5);
+  const ParamVec u = client.compute_update(global, TrainConfig{}, rng_a);
+
+  // Re-run the same local training manually.
+  Mlp local = global;
+  train_sgd(local, client.data().features(), client.data().labels(),
+            TrainConfig{}, rng_b);
+  const ParamVec expected = subtract(local.parameters(), global.parameters());
+  EXPECT_EQ(u, expected);
+}
+
+TEST(HonestProvider, DelegatesToClients) {
+  std::vector<FlClient> clients;
+  clients.emplace_back(0, blob_data(0, 30));
+  clients.emplace_back(1, blob_data(1, 30));
+  HonestUpdateProvider provider(&clients, TrainConfig{});
+  Mlp global = fresh_model();
+  Rng rng(6);
+  const ParamVec u0 = provider.update_for(0, global, rng);
+  const ParamVec u1 = provider.update_for(1, global, rng);
+  EXPECT_EQ(u0.size(), global.num_params());
+  EXPECT_NE(u0, u1);  // different shards, different updates
+}
+
+TEST(HonestProvider, UnknownClientThrows) {
+  std::vector<FlClient> clients;
+  clients.emplace_back(0, blob_data(0, 10));
+  HonestUpdateProvider provider(&clients, TrainConfig{});
+  Mlp global = fresh_model();
+  Rng rng(7);
+  EXPECT_THROW(provider.update_for(5, global, rng), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace baffle

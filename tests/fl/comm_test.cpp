@@ -1,0 +1,74 @@
+#include "fl/comm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+TEST(CommTracker, RoundWithoutDefenseCountsModelTraffic) {
+  CommTracker tracker(/*num_clients=*/10, /*model_bytes=*/1000,
+                      /*history_len=*/21);
+  tracker.record_round({0, 1, 2}, /*defense_active=*/false);
+  EXPECT_EQ(tracker.stats().model_download_bytes, 3000u);
+  EXPECT_EQ(tracker.stats().update_upload_bytes, 3000u);
+  EXPECT_EQ(tracker.stats().history_bytes, 0u);
+  EXPECT_EQ(tracker.stats().rounds, 1u);
+}
+
+TEST(CommTracker, FirstSelectionDownloadsFullHistory) {
+  CommTracker tracker(10, 1000, 21);
+  tracker.record_round({4}, true);
+  EXPECT_EQ(tracker.stats().history_bytes, 21u * 1000u);
+}
+
+TEST(CommTracker, ReselectionDownloadsOnlyDelta) {
+  CommTracker tracker(10, 1000, 21);
+  tracker.record_round({4}, true);   // full history: 21 models
+  tracker.record_round({4}, true);   // 1 round later: 1 model missing
+  EXPECT_EQ(tracker.stats().history_bytes, 21u * 1000u + 1u * 1000u);
+}
+
+TEST(CommTracker, LongGapCapsAtFullHistory) {
+  CommTracker tracker(10, 1000, 21);
+  tracker.record_round({4}, true);
+  for (int i = 0; i < 100; ++i) tracker.record_round({5}, true);
+  tracker.record_round({4}, true);  // 101 rounds later: capped at 21
+  const std::uint64_t for_client4 = 21u * 1000u + 21u * 1000u;
+  const std::uint64_t for_client5 = 21u * 1000u + 99u * 1000u;
+  EXPECT_EQ(tracker.stats().history_bytes, for_client4 + for_client5);
+}
+
+TEST(CommTracker, CompressionDividesHistoryBytes) {
+  CommTracker plain(10, 1000, 20, 1.0);
+  CommTracker compressed(10, 1000, 20, 10.0);
+  plain.record_round({0}, true);
+  compressed.record_round({0}, true);
+  EXPECT_EQ(compressed.stats().history_bytes,
+            plain.stats().history_bytes / 10);
+}
+
+TEST(CommTracker, RejectsSubUnityCompression) {
+  EXPECT_THROW(CommTracker(10, 1000, 20, 0.5), std::invalid_argument);
+}
+
+TEST(CommTracker, UnknownClientThrows) {
+  CommTracker tracker(3, 100, 5);
+  EXPECT_THROW(tracker.record_round({7}, false), std::out_of_range);
+}
+
+TEST(CommTracker, HistoryBytesPerClientAverages) {
+  CommTracker tracker(4, 100, 10);
+  tracker.record_round({0}, true);  // 1000 bytes for client 0
+  EXPECT_DOUBLE_EQ(tracker.history_bytes_per_client(), 250.0);
+}
+
+TEST(CommTracker, TotalBytesAggregates) {
+  CommTracker tracker(4, 100, 10);
+  tracker.record_round({0, 1}, true);
+  const auto& s = tracker.stats();
+  EXPECT_EQ(s.total_bytes(),
+            s.model_download_bytes + s.update_upload_bytes + s.history_bytes);
+}
+
+}  // namespace
+}  // namespace baffle

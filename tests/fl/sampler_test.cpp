@@ -1,0 +1,55 @@
+#include "fl/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace baffle {
+namespace {
+
+TEST(Sampler, DrawsRequestedCount) {
+  const ClientSampler sampler(100, 10);
+  Rng rng(1);
+  const auto ids = sampler.sample_round(rng);
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(Sampler, IdsDistinctAndInRange) {
+  const ClientSampler sampler(50, 20);
+  Rng rng(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto ids = sampler.sample_round(rng);
+    std::set<std::size_t> unique(ids.begin(), ids.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (std::size_t id : ids) EXPECT_LT(id, 50u);
+  }
+}
+
+TEST(Sampler, UniformSelectionFrequency) {
+  const ClientSampler sampler(20, 5);
+  Rng rng(3);
+  std::vector<int> hits(20, 0);
+  const int reps = 8000;
+  for (int i = 0; i < reps; ++i) {
+    for (std::size_t id : sampler.sample_round(rng)) hits[id]++;
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / reps, 0.25, 0.03);
+  }
+}
+
+TEST(Sampler, RejectsBadConfig) {
+  EXPECT_THROW(ClientSampler(10, 0), std::invalid_argument);
+  EXPECT_THROW(ClientSampler(10, 11), std::invalid_argument);
+}
+
+TEST(Sampler, FullPopulationSelection) {
+  const ClientSampler sampler(5, 5);
+  Rng rng(4);
+  const auto ids = sampler.sample_round(rng);
+  std::set<std::size_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,182 @@
+#include "fl/secure_agg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace baffle {
+namespace {
+
+SecureAggConfig config(std::uint64_t key = 99) {
+  SecureAggConfig c;
+  c.round_key = key;
+  return c;
+}
+
+std::vector<std::size_t> ids(std::initializer_list<std::size_t> v) {
+  return {v};
+}
+
+TEST(SecureAgg, QuantizationRoundTrip) {
+  const SecureAggregation sa(config());
+  for (float x : {0.0f, 1.0f, -1.0f, 0.123f, -17.5f}) {
+    EXPECT_NEAR(sa.decode_sum(sa.encode(x)), x, 1e-6f);
+  }
+}
+
+TEST(SecureAgg, SumOfTwoMaskedVectorsIsExact) {
+  const SecureAggregation sa(config());
+  const ParamVec a{1.0f, 2.0f, -3.0f};
+  const ParamVec b{0.5f, -1.5f, 4.0f};
+  const auto participants = ids({3, 7});
+  const auto ma = sa.mask_update(a, 3, participants);
+  const auto mb = sa.mask_update(b, 7, participants);
+  const ParamVec total = sa.unmask_sum({ma, mb}, participants, participants, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(total[i], a[i] + b[i], 1e-5f);
+  }
+}
+
+TEST(SecureAgg, MasksAreLarge) {
+  // A masked vector must look nothing like the plaintext encoding: for a
+  // zero update the mask should dominate.
+  const SecureAggregation sa(config());
+  const ParamVec zero(8, 0.0f);
+  const auto masked = sa.mask_update(zero, 0, ids({0, 1}));
+  std::size_t nonzero = 0;
+  for (auto v : masked) {
+    if (v != 0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 8u);
+}
+
+TEST(SecureAgg, TenClientSumMatchesPlainSum) {
+  const SecureAggregation sa(config(1234));
+  Rng rng(5);
+  const std::size_t n = 10, dim = 64;
+  std::vector<std::size_t> participants(n);
+  for (std::size_t i = 0; i < n; ++i) participants[i] = 10 + i;
+  std::vector<ParamVec> updates(n, ParamVec(dim));
+  ParamVec expected(dim, 0.0f);
+  for (auto& u : updates) {
+    for (float& x : u) x = static_cast<float>(rng.normal());
+    axpy(1.0f, u, expected);
+  }
+  std::vector<MaskedVec> masked;
+  for (std::size_t i = 0; i < n; ++i) {
+    masked.push_back(sa.mask_update(updates[i], participants[i], participants));
+  }
+  const ParamVec total = sa.unmask_sum(masked, participants, participants, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(total[i], expected[i], 1e-4f);
+  }
+}
+
+TEST(SecureAgg, DropoutRecovery) {
+  // 4 participants mask; one never sends. The sum of the survivors must
+  // come out exactly after the server cancels the dropped client's
+  // pairwise masks.
+  const SecureAggregation sa(config(777));
+  const auto participants = ids({0, 1, 2, 3});
+  const std::vector<ParamVec> updates{
+      {1.0f, 1.0f}, {2.0f, -1.0f}, {3.0f, 0.5f}, {4.0f, 9.0f}};
+  std::vector<MaskedVec> masked;
+  std::vector<std::size_t> senders;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == 2) continue;  // client 2 drops after key agreement
+    masked.push_back(sa.mask_update(updates[i], i, participants));
+    senders.push_back(i);
+  }
+  const ParamVec total = sa.unmask_sum(masked, senders, participants, 2);
+  EXPECT_NEAR(total[0], 1.0f + 2.0f + 4.0f, 1e-5f);
+  EXPECT_NEAR(total[1], 1.0f - 1.0f + 9.0f, 1e-5f);
+}
+
+TEST(SecureAgg, MultipleDropouts) {
+  const SecureAggregation sa(config(42));
+  const auto participants = ids({0, 1, 2, 3, 4});
+  std::vector<MaskedVec> masked;
+  std::vector<std::size_t> senders;
+  float expected = 0.0f;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i == 1 || i == 3) continue;
+    const ParamVec u{static_cast<float>(i)};
+    masked.push_back(sa.mask_update(u, i, participants));
+    senders.push_back(i);
+    expected += static_cast<float>(i);
+  }
+  const ParamVec total = sa.unmask_sum(masked, senders, participants, 1);
+  EXPECT_NEAR(total[0], expected, 1e-5f);
+}
+
+TEST(SecureAgg, DifferentRoundKeysGiveDifferentMasks) {
+  const SecureAggregation sa1(config(1)), sa2(config(2));
+  const ParamVec u{1.0f, 2.0f};
+  const auto p = ids({0, 1});
+  EXPECT_NE(sa1.mask_update(u, 0, p), sa2.mask_update(u, 0, p));
+}
+
+TEST(SecureAgg, SelfMustBeParticipant) {
+  const SecureAggregation sa(config());
+  const ParamVec u{1.0f};
+  EXPECT_THROW(sa.mask_update(u, 9, ids({0, 1})), std::invalid_argument);
+}
+
+TEST(SecureAgg, UnmaskRejectsMalformedInput) {
+  const SecureAggregation sa(config());
+  const auto p = ids({0, 1});
+  const auto m = sa.mask_update({1.0f}, 0, p);
+  EXPECT_THROW(sa.unmask_sum({m}, {0, 1}, p, 1), std::invalid_argument);
+  EXPECT_THROW(sa.unmask_sum({}, {}, p, 1), std::invalid_argument);
+  EXPECT_THROW(sa.unmask_sum({m}, {0}, p, 2), std::invalid_argument);
+}
+
+TEST(SecureAgg, SingleParticipantDegenerate) {
+  // With one participant there are no pairwise masks; the "masked"
+  // vector is the plain quantization and the sum is the value itself.
+  const SecureAggregation sa(config());
+  const ParamVec u{2.5f};
+  const auto p = ids({4});
+  const auto m = sa.mask_update(u, 4, p);
+  const ParamVec total = sa.unmask_sum({m}, {4}, p, 1);
+  EXPECT_NEAR(total[0], 2.5f, 1e-6f);
+}
+
+/// Property sweep: exact cancellation for many (n, dim, key) combos.
+class SecureAggProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SecureAggProperty, MaskedSumEqualsPlainSum) {
+  const auto [n, dim] = GetParam();
+  const SecureAggregation sa(config(n * 1000 + dim));
+  Rng rng(n * 31 + dim);
+  std::vector<std::size_t> participants(n);
+  for (std::size_t i = 0; i < n; ++i) participants[i] = i * 3 + 1;
+  std::vector<ParamVec> updates(n, ParamVec(dim));
+  ParamVec expected(dim, 0.0f);
+  for (auto& u : updates) {
+    for (float& x : u) x = static_cast<float>(rng.uniform(-5.0, 5.0));
+    axpy(1.0f, u, expected);
+  }
+  std::vector<MaskedVec> masked;
+  for (std::size_t i = 0; i < n; ++i) {
+    masked.push_back(
+        sa.mask_update(updates[i], participants[i], participants));
+  }
+  const ParamVec total =
+      sa.unmask_sum(masked, participants, participants, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(total[i], expected[i], 1e-4f) << "dim " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SecureAggProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 5, 10, 17),
+                       ::testing::Values<std::size_t>(1, 8, 33)));
+
+}  // namespace
+}  // namespace baffle

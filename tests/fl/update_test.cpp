@@ -1,0 +1,40 @@
+#include "fl/update.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+TEST(Update, SumUpdates) {
+  const std::vector<ParamVec> updates{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  EXPECT_EQ(sum_updates(updates), (ParamVec{4.0f, 6.0f}));
+}
+
+TEST(Update, MeanUpdate) {
+  const std::vector<ParamVec> updates{{2.0f, 4.0f}, {4.0f, 8.0f}};
+  EXPECT_EQ(mean_update(updates), (ParamVec{3.0f, 6.0f}));
+}
+
+TEST(Update, SingleUpdateMeanIsIdentity) {
+  const std::vector<ParamVec> updates{{1.5f, -2.0f}};
+  EXPECT_EQ(mean_update(updates), updates[0]);
+}
+
+TEST(Update, EmptyThrows) {
+  EXPECT_THROW(sum_updates({}), std::invalid_argument);
+  EXPECT_THROW(mean_update({}), std::invalid_argument);
+}
+
+TEST(Update, RaggedThrows) {
+  const std::vector<ParamVec> updates{{1.0f, 2.0f}, {3.0f}};
+  EXPECT_THROW(sum_updates(updates), std::invalid_argument);
+}
+
+TEST(Update, CheckUpdateSizes) {
+  const std::vector<ParamVec> updates{{1.0f, 2.0f}};
+  EXPECT_NO_THROW(check_update_sizes(updates, 2));
+  EXPECT_THROW(check_update_sizes(updates, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace baffle

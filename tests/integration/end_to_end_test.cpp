@@ -1,0 +1,99 @@
+// Full-pipeline integration tests through the experiment harness: the
+// paper's stable-model scenario end to end, in both defended and
+// undefended form.
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace baffle {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.scenario = vision_scenario(0.10);
+  cfg.scenario.num_clients = 60;  // smaller population: faster tests
+  cfg.feedback.mode = DefenseMode::kClientsAndServer;
+  cfg.feedback.quorum = 5;
+  cfg.feedback.validator.lookback = 15;
+  cfg.schedule = AttackSchedule::stable_scenario();
+  cfg.rounds = 45;
+  cfg.defense_start = 18;
+  return cfg;
+}
+
+TEST(EndToEnd, DefendedRunDetectsAllInjections) {
+  const auto result = run_experiment(base_config(), 1);
+  EXPECT_EQ(result.rates.poisoned_rounds, 3u);
+  EXPECT_DOUBLE_EQ(result.rates.fn_rate, 0.0);
+  EXPECT_LT(result.rates.fp_rate, 0.25);
+  // Backdoor never sticks: final backdoor accuracy stays low.
+  EXPECT_LT(result.final_backdoor_accuracy, 0.3);
+  EXPECT_GT(result.final_main_accuracy, 0.8);
+}
+
+TEST(EndToEnd, UndefendedRunGetsBackdoored) {
+  ExperimentConfig cfg = base_config();
+  cfg.defense_enabled = false;
+  const auto result = run_experiment(cfg, 1);
+  EXPECT_GT(result.final_backdoor_accuracy, 0.5);
+  // No defense active -> no rounds counted.
+  EXPECT_EQ(result.rates.clean_rounds + result.rates.poisoned_rounds, 0u);
+}
+
+TEST(EndToEnd, RejectedRoundsRollBackTheModel) {
+  const auto result = run_experiment(base_config(), 2);
+  for (const auto& r : result.rounds) {
+    if (r.poisoned && r.rejected) {
+      // Accuracy must not collapse in the round of a rejected injection.
+      EXPECT_GT(r.main_accuracy, 0.7) << "round " << r.round;
+      EXPECT_LT(r.backdoor_accuracy, 0.3) << "round " << r.round;
+    }
+  }
+}
+
+TEST(EndToEnd, InjectionRecordsMatchSchedule) {
+  const auto result = run_experiment(base_config(), 3);
+  ASSERT_EQ(result.injections.size(), 3u);
+  EXPECT_EQ(result.injections[0].round, 30u);
+  EXPECT_EQ(result.injections[1].round, 35u);
+  EXPECT_EQ(result.injections[2].round, 40u);
+  for (const auto& inj : result.injections) {
+    EXPECT_FALSE(inj.adaptive);
+    EXPECT_DOUBLE_EQ(inj.alpha, 1.0);
+  }
+}
+
+TEST(EndToEnd, DeterministicAcrossIdenticalSeeds) {
+  const auto a = run_experiment(base_config(), 7);
+  const auto b = run_experiment(base_config(), 7);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].rejected, b.rounds[i].rejected);
+    EXPECT_DOUBLE_EQ(a.rounds[i].main_accuracy, b.rounds[i].main_accuracy);
+  }
+}
+
+TEST(EndToEnd, RepeatedRunsAggregateRates) {
+  ExperimentConfig cfg = base_config();
+  cfg.track_accuracy = false;
+  const auto rep = run_repeated(cfg, 2, 100);
+  ASSERT_EQ(rep.runs.size(), 2u);
+  EXPECT_GE(rep.fp.mean, 0.0);
+  EXPECT_LE(rep.fp.mean, 1.0);
+  EXPECT_LE(rep.fn.mean, 0.35);
+}
+
+TEST(EndToEnd, RepeatedRejectsZeroReps) {
+  EXPECT_THROW(run_repeated(base_config(), 0, 1), std::invalid_argument);
+}
+
+TEST(EndToEnd, DefenseInactiveBeforeStartRound) {
+  const auto result = run_experiment(base_config(), 4);
+  for (const auto& r : result.rounds) {
+    if (r.round < 18) EXPECT_FALSE(r.defense_active);
+  }
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,115 @@
+#include "metrics/confusion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+TEST(ConfusionMatrix, AccuracyAndError) {
+  ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  cm.record(1, 1);
+  cm.record(2, 0);  // wrong
+  cm.record(2, 2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.error(), 0.25);
+  EXPECT_EQ(cm.total(), 4u);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, RecordValidatesRange) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.record(2, 0), std::invalid_argument);
+  EXPECT_THROW(cm.record(0, -1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, ZeroClassesRejected) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, SourceFocusedErrorsNormalizedByTotal) {
+  // err^{y->*}: fraction of ALL samples that are class y and misread.
+  ConfusionMatrix cm(2);
+  cm.record(0, 1);  // class 0 misread
+  cm.record(0, 0);
+  cm.record(1, 1);
+  cm.record(1, 1);
+  const auto e = cm.source_focused_errors();
+  EXPECT_DOUBLE_EQ(e[0], 0.25);
+  EXPECT_DOUBLE_EQ(e[1], 0.0);
+}
+
+TEST(ConfusionMatrix, TargetFocusedErrorsNormalizedByTotal) {
+  // err^{*->y}: fraction of ALL samples wrongly assigned TO class y.
+  ConfusionMatrix cm(2);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  cm.record(1, 1);
+  cm.record(0, 0);
+  const auto e = cm.target_focused_errors();
+  EXPECT_DOUBLE_EQ(e[1], 0.25);
+  EXPECT_DOUBLE_EQ(e[0], 0.0);
+}
+
+TEST(ConfusionMatrix, SourceErrorsSumEqualsTotalError) {
+  ConfusionMatrix cm(3);
+  cm.record(0, 1);
+  cm.record(1, 2);
+  cm.record(2, 2);
+  cm.record(0, 0);
+  const auto src = cm.source_focused_errors();
+  const auto tgt = cm.target_focused_errors();
+  double src_total = 0.0, tgt_total = 0.0;
+  for (double e : src) src_total += e;
+  for (double e : tgt) tgt_total += e;
+  EXPECT_NEAR(src_total, cm.error(), 1e-12);
+  EXPECT_NEAR(tgt_total, cm.error(), 1e-12);
+}
+
+TEST(ConfusionMatrix, PerClassErrorRatesNormalizedPerClass) {
+  ConfusionMatrix cm(2);
+  cm.record(0, 1);
+  cm.record(0, 1);
+  cm.record(0, 0);
+  cm.record(1, 1);
+  const auto rates = cm.per_class_error_rates();
+  EXPECT_NEAR(rates[0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+TEST(ConfusionMatrix, PerClassErrorEmptyClassIsZero) {
+  ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  EXPECT_DOUBLE_EQ(cm.per_class_error_rates()[2], 0.0);
+}
+
+TEST(EvaluateConfusion, MatchesModelPredictions) {
+  // Linear model biased to always predict class 1.
+  Mlp model(MlpConfig{{2, 2}, Activation::kRelu});
+  std::vector<float> params(model.num_params(), 0.0f);
+  params.back() = 5.0f;  // class-1 bias
+  model.set_parameters(params);
+
+  Dataset data(2, 2);
+  data.add({{0.0f, 0.0f}, 0});
+  data.add({{0.0f, 0.0f}, 1});
+  data.add({{0.0f, 0.0f}, 1});
+  const ConfusionMatrix cm = evaluate_confusion(model, data);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_NEAR(cm.accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateConfusion, EmptyDatasetGivesEmptyMatrix) {
+  Mlp model(MlpConfig{{2, 2}, Activation::kRelu});
+  const Dataset data(2, 2);
+  const ConfusionMatrix cm = evaluate_confusion(model, data);
+  EXPECT_EQ(cm.total(), 0u);
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,83 @@
+#include "metrics/rates.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+RoundRecord make_round(std::size_t r, bool active, bool poisoned,
+                       bool rejected) {
+  RoundRecord rec;
+  rec.round = r;
+  rec.defense_active = active;
+  rec.poisoned = poisoned;
+  rec.rejected = rejected;
+  return rec;
+}
+
+TEST(DetectionRates, PerfectDetection) {
+  std::vector<RoundRecord> rounds;
+  for (std::size_t r = 1; r <= 10; ++r) {
+    const bool poisoned = (r == 5);
+    rounds.push_back(make_round(r, true, poisoned, poisoned));
+  }
+  const auto rates = compute_detection_rates(rounds);
+  EXPECT_DOUBLE_EQ(rates.fp_rate, 0.0);
+  EXPECT_DOUBLE_EQ(rates.fn_rate, 0.0);
+  EXPECT_EQ(rates.clean_rounds, 9u);
+  EXPECT_EQ(rates.poisoned_rounds, 1u);
+}
+
+TEST(DetectionRates, MissedInjectionCountsAsFalseNegative) {
+  std::vector<RoundRecord> rounds{
+      make_round(1, true, true, false),
+      make_round(2, true, true, true),
+  };
+  const auto rates = compute_detection_rates(rounds);
+  EXPECT_DOUBLE_EQ(rates.fn_rate, 0.5);
+  EXPECT_EQ(rates.false_negatives, 1u);
+}
+
+TEST(DetectionRates, RejectedCleanRoundCountsAsFalsePositive) {
+  std::vector<RoundRecord> rounds{
+      make_round(1, true, false, true),
+      make_round(2, true, false, false),
+      make_round(3, true, false, false),
+      make_round(4, true, false, false),
+  };
+  const auto rates = compute_detection_rates(rounds);
+  EXPECT_DOUBLE_EQ(rates.fp_rate, 0.25);
+}
+
+TEST(DetectionRates, InactiveRoundsExcluded) {
+  std::vector<RoundRecord> rounds{
+      make_round(1, false, true, false),   // undetectable: defense off
+      make_round(2, false, false, false),
+      make_round(3, true, false, false),
+  };
+  const auto rates = compute_detection_rates(rounds);
+  EXPECT_EQ(rates.clean_rounds, 1u);
+  EXPECT_EQ(rates.poisoned_rounds, 0u);
+  EXPECT_DOUBLE_EQ(rates.fn_rate, 0.0);
+}
+
+TEST(DetectionRates, EmptyInput) {
+  const auto rates = compute_detection_rates({});
+  EXPECT_DOUBLE_EQ(rates.fp_rate, 0.0);
+  EXPECT_DOUBLE_EQ(rates.fn_rate, 0.0);
+}
+
+TEST(DetectionRates, AllPoisonedNoClean) {
+  std::vector<RoundRecord> rounds{
+      make_round(1, true, true, true),
+      make_round(2, true, true, false),
+      make_round(3, true, true, false),
+  };
+  const auto rates = compute_detection_rates(rounds);
+  EXPECT_EQ(rates.clean_rounds, 0u);
+  EXPECT_DOUBLE_EQ(rates.fp_rate, 0.0);  // no clean rounds: rate stays 0
+  EXPECT_NEAR(rates.fn_rate, 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,89 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace baffle {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogK) {
+  const Matrix logits(4, 10, 0.0f);
+  const std::vector<int> labels{0, 3, 5, 9};
+  const double loss = softmax_cross_entropy_loss(logits, labels);
+  EXPECT_NEAR(loss, std::log(10.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectPredictionLowLoss) {
+  Matrix logits(1, 3, 0.0f);
+  logits.at(0, 1) = 20.0f;
+  const std::vector<int> labels{1};
+  EXPECT_LT(softmax_cross_entropy_loss(logits, labels), 1e-6);
+}
+
+TEST(Loss, ConfidentWrongPredictionHighLoss) {
+  Matrix logits(1, 3, 0.0f);
+  logits.at(0, 0) = 20.0f;
+  const std::vector<int> labels{1};
+  EXPECT_GT(softmax_cross_entropy_loss(logits, labels), 10.0);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  Matrix logits = Matrix::from_rows(2, 3, {1, 2, 3, -1, 0, 1});
+  const std::vector<int> labels{0, 2};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float total = 0.0f;
+    for (float g : result.dlogits.row(r)) total += g;
+    EXPECT_NEAR(total, 0.0f, 1e-6f);
+  }
+}
+
+TEST(Loss, GradientIsSoftmaxMinusOneHotOverBatch) {
+  Matrix logits(1, 2, 0.0f);  // softmax = (0.5, 0.5)
+  const std::vector<int> labels{0};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.dlogits.at(0, 0), -0.5f, 1e-6f);
+  EXPECT_NEAR(result.dlogits.at(0, 1), 0.5f, 1e-6f);
+}
+
+TEST(Loss, GradientScalesWithBatch) {
+  Matrix logits(2, 2, 0.0f);
+  const std::vector<int> labels{0, 0};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.dlogits.at(0, 0), -0.25f, 1e-6f);  // (0.5-1)/2
+}
+
+TEST(Loss, LossMatchesGradVariant) {
+  Matrix logits = Matrix::from_rows(3, 4, {1, 2, 3, 4, 0, 0, 0, 0, -2, 5, 1, 1});
+  const std::vector<int> labels{3, 1, 2};
+  EXPECT_NEAR(softmax_cross_entropy(logits, labels).loss,
+              softmax_cross_entropy_loss(logits, labels), 1e-9);
+}
+
+TEST(Loss, LabelCountMismatchThrows) {
+  Matrix logits(2, 3);
+  const std::vector<int> labels{0};
+  EXPECT_THROW(softmax_cross_entropy(logits, labels), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy_loss(logits, labels),
+               std::invalid_argument);
+}
+
+TEST(Loss, LabelOutOfRangeThrows) {
+  Matrix logits(1, 3);
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<int>{3}),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<int>{-1}),
+               std::invalid_argument);
+}
+
+TEST(Loss, NumericallyStableForExtremeLogits) {
+  Matrix logits = Matrix::from_rows(1, 2, {1000.0f, -1000.0f});
+  const std::vector<int> labels{1};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  EXPECT_TRUE(std::isfinite(result.loss));
+  EXPECT_TRUE(std::isfinite(result.dlogits.at(0, 0)));
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,73 @@
+#include "nn/model_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace baffle {
+namespace {
+
+MlpConfig config() { return MlpConfig{{6, 10, 4}, Activation::kTanh}; }
+
+TEST(ModelCodec, RoundTripPreservesEverything) {
+  Mlp model(config());
+  Rng rng(1);
+  model.init(rng);
+  const auto bytes = encode_model(model);
+  const Mlp decoded = decode_model(bytes);
+  EXPECT_EQ(decoded.config().layer_dims, model.config().layer_dims);
+  EXPECT_EQ(decoded.config().hidden_activation,
+            model.config().hidden_activation);
+  EXPECT_EQ(decoded.parameters(), model.parameters());
+}
+
+TEST(ModelCodec, EncodedSizeMatchesPrediction) {
+  Mlp model(config());
+  EXPECT_EQ(encode_model(model).size(), encoded_size(model));
+}
+
+TEST(ModelCodec, SizeScalesWithParameters) {
+  Mlp small(MlpConfig{{4, 2}, Activation::kRelu});
+  Mlp big(MlpConfig{{64, 128, 10}, Activation::kRelu});
+  EXPECT_GT(encoded_size(big), 10 * encoded_size(small));
+}
+
+TEST(ModelCodec, BadMagicRejected) {
+  Mlp model(config());
+  auto bytes = encode_model(model);
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(decode_model(bytes), std::runtime_error);
+}
+
+TEST(ModelCodec, TruncationRejected) {
+  Mlp model(config());
+  auto bytes = encode_model(model);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(decode_model(bytes), std::exception);
+}
+
+TEST(ModelCodec, TrailingGarbageRejected) {
+  Mlp model(config());
+  auto bytes = encode_model(model);
+  bytes.push_back(0);
+  EXPECT_THROW(decode_model(bytes), std::runtime_error);
+}
+
+TEST(ModelCodec, ImplausibleLayerCountRejected) {
+  Mlp model(config());
+  auto bytes = encode_model(model);
+  // Layer count lives right after the 4-byte magic.
+  bytes[4] = 0xFF;
+  bytes[5] = 0xFF;
+  EXPECT_THROW(decode_model(bytes), std::runtime_error);
+}
+
+TEST(ModelCodec, DeterministicEncoding) {
+  Mlp model(config());
+  Rng rng(2);
+  model.init(rng);
+  EXPECT_EQ(encode_model(model), encode_model(model));
+}
+
+}  // namespace
+}  // namespace baffle

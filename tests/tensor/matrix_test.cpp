@@ -1,0 +1,79 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructWithFill) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (float x : m.flat()) EXPECT_EQ(x, 1.5f);
+}
+
+TEST(Matrix, AtIsRowMajor) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1.0f;
+  m.at(0, 2) = 2.0f;
+  m.at(1, 0) = 3.0f;
+  const auto flat = m.flat();
+  EXPECT_EQ(flat[0], 1.0f);
+  EXPECT_EQ(flat[2], 2.0f);
+  EXPECT_EQ(flat[3], 3.0f);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(3, 2);
+  auto row = m.row(1);
+  row[0] = 9.0f;
+  EXPECT_EQ(m.at(1, 0), 9.0f);
+  ASSERT_EQ(row.size(), 2u);
+}
+
+TEST(Matrix, FromRowsValidatesSize) {
+  EXPECT_NO_THROW(Matrix::from_rows(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(Matrix::from_rows(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, FromRowsLayout) {
+  const Matrix m = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m.at(0, 1), 2.0f);
+  EXPECT_EQ(m.at(1, 0), 3.0f);
+}
+
+TEST(Matrix, FillOverwrites) {
+  Matrix m(2, 2, 5.0f);
+  m.fill(0.0f);
+  for (float x : m.flat()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Matrix, ReshapePreservesData) {
+  Matrix m = Matrix::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  m.reshape(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.at(1, 1), 4.0f);  // row-major relabeling
+}
+
+TEST(Matrix, ReshapeRejectsSizeChange) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.reshape(2, 2), std::invalid_argument);
+}
+
+TEST(Matrix, CopySemantics) {
+  Matrix a(2, 2, 1.0f);
+  Matrix b = a;
+  b.at(0, 0) = 9.0f;
+  EXPECT_EQ(a.at(0, 0), 1.0f);  // deep copy
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,180 @@
+#include "util/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace baffle {
+namespace {
+
+TEST(Serialization, RoundTripPrimitives) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f32(3.5f);
+  w.f64(-2.25);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialization, RoundTripFloatVector) {
+  ByteWriter w;
+  const std::vector<float> v{1.0f, -2.5f, 0.0f,
+                             std::numeric_limits<float>::max()};
+  w.f32_span(v);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.f32_vec(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialization, RoundTripEmptyVector) {
+  ByteWriter w;
+  w.f32_span({});
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.f32_vec().empty());
+}
+
+TEST(Serialization, RoundTripString) {
+  ByteWriter w;
+  w.str("hello, world");
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello, world");
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Serialization, PreservesFloatBitPatterns) {
+  ByteWriter w;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  w.f32(nan);
+  w.f32(inf);
+  w.f32(-0.0f);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(std::isnan(r.f32()));
+  EXPECT_EQ(r.f32(), inf);
+  const float neg_zero = r.f32();
+  EXPECT_EQ(neg_zero, 0.0f);
+  EXPECT_TRUE(std::signbit(neg_zero));
+}
+
+TEST(Serialization, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u32(7);
+  std::vector<std::uint8_t> bytes = w.take();
+  bytes.pop_back();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+TEST(Serialization, ImplausibleVectorLengthThrows) {
+  ByteWriter w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());  // absurd length
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.f32_vec(), std::runtime_error);
+}
+
+TEST(Serialization, ImplausibleStringLengthThrows) {
+  ByteWriter w;
+  w.u64(1u << 20);  // claims 1MiB follows; nothing does
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.str(), std::runtime_error);
+}
+
+TEST(Serialization, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.done());
+}
+
+/// Randomized round-trip property: arbitrary interleavings of writes
+/// decode back exactly.
+class SerializationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializationFuzz, RandomRoundTrip) {
+  baffle::Rng rng(GetParam());
+  ByteWriter w;
+  struct Op {
+    int kind;
+    std::uint64_t u;
+    float f;
+    std::vector<float> vec;
+    std::string s;
+  };
+  std::vector<Op> ops;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    Op op;
+    op.kind = static_cast<int>(rng.uniform_int(0, 3));
+    switch (op.kind) {
+      case 0:
+        op.u = rng.next_u64();
+        w.u64(op.u);
+        break;
+      case 1:
+        op.f = static_cast<float>(rng.normal(0.0, 1e6));
+        w.f32(op.f);
+        break;
+      case 2: {
+        const auto len = static_cast<std::size_t>(rng.uniform_int(0, 16));
+        op.vec.resize(len);
+        for (auto& x : op.vec) x = static_cast<float>(rng.normal());
+        w.f32_span(op.vec);
+        break;
+      }
+      case 3: {
+        const auto len = static_cast<std::size_t>(rng.uniform_int(0, 12));
+        op.s.resize(len);
+        for (auto& c : op.s) {
+          c = static_cast<char>(rng.uniform_int(0, 255));
+        }
+        w.str(op.s);
+        break;
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  ByteReader r(w.bytes());
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case 0: EXPECT_EQ(r.u64(), op.u); break;
+      case 1: EXPECT_EQ(r.f32(), op.f); break;
+      case 2: EXPECT_EQ(r.f32_vec(), op.vec); break;
+      case 3: EXPECT_EQ(r.str(), op.s); break;
+    }
+  }
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Serialization, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baffle {
+namespace {
+
+TEST(Stats, Mean) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanSingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0);
+}
+
+TEST(Stats, StddevPopulation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, StddevConstant) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, QuantileEndpointsAndMiddle) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 20.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 3.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  EXPECT_THROW(stddev(empty), std::invalid_argument);
+  EXPECT_THROW(median({}), std::invalid_argument);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(min_of(empty), std::invalid_argument);
+}
+
+TEST(Stats, QuantileRejectsOutOfRangeQ) {
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, MeanStdCombined) {
+  const std::vector<double> xs{1.0, 3.0};
+  const MeanStd ms = mean_std(xs);
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_DOUBLE_EQ(ms.std, 1.0);
+}
+
+}  // namespace
+}  // namespace baffle

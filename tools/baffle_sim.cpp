@@ -1,0 +1,214 @@
+// baffle_sim — command-line driver for the defended-FL simulation.
+//
+// Runs one experiment with every knob exposed as a flag and prints the
+// per-round log plus the detection summary. Examples:
+//
+//   baffle_sim                                  # paper defaults
+//   baffle_sim --task=femnist --mode=C --q=7
+//   baffle_sim --adaptive=1 --seed=7 --rounds=80
+//   baffle_sim --attack=dba --colluders=4
+//   baffle_sim --separate-validators=1 --validator-dropout=0.2
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace {
+
+using namespace baffle;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool has(const std::string& key) const { return values.count(key) > 0; }
+
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  double num(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::strtod(it->second.c_str(),
+                                                       nullptr);
+  }
+  long integer(const std::string& key, long fallback) const {
+    const auto it = values.find(key);
+    return it == values.end()
+               ? fallback
+               : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  bool flag(const std::string& key, bool fallback) const {
+    const auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    return it->second != "0" && it->second != "false";
+  }
+};
+
+void print_help() {
+  std::puts(
+      "baffle_sim — defended federated-learning simulation\n"
+      "\n"
+      "scenario:\n"
+      "  --task=vision|femnist      dataset surrogate (default vision)\n"
+      "  --clients=N                population size (default: preset)\n"
+      "  --server-frac=F            server holdout share (default 0.10/0.01)\n"
+      "  --alpha=A                  Dirichlet non-IID parameter (0.9)\n"
+      "  --iid=0|1                  IID split instead of Dirichlet\n"
+      "  --secure-agg=0|1           pairwise-masked aggregation (1)\n"
+      "defense:\n"
+      "  --mode=C|S|C+S             validating entities (C+S)\n"
+      "  --q=N                      quorum threshold (5)\n"
+      "  --lookback=N               history window l (20)\n"
+      "  --defense-start=N          first enforced round (20)\n"
+      "  --no-defense=1             disable the feedback loop\n"
+      "  --separate-validators=0|1  independent validating set (0)\n"
+      "  --validator-dropout=F      non-response probability (0)\n"
+      "attack:\n"
+      "  --attack=replacement|dba|none   (replacement)\n"
+      "  --adaptive=0|1             defense-aware attacker (0)\n"
+      "  --colluders=N              DBA colluder count (4)\n"
+      "  --poison-rounds=a,b,c      injection rounds (30,35,40)\n"
+      "  --vote=honest|accept|reject  malicious validators' votes (accept)\n"
+      "run:\n"
+      "  --rounds=N                 total rounds (50)\n"
+      "  --seed=N                   RNG seed (1)\n"
+      "  --from-scratch=1           skip stable-model pre-training\n"
+      "  --quiet=1                  summary only\n");
+}
+
+std::vector<std::size_t> parse_rounds(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) {
+      out.push_back(static_cast<std::size_t>(
+          std::strtoul(token.c_str(), nullptr, 10)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values[arg] = "1";
+    } else {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+
+  ExperimentConfig cfg;
+  const std::string task = flags.str("task", "vision");
+  const double default_sfrac = task == "femnist" ? 0.01 : 0.10;
+  const double sfrac = flags.num("server-frac", default_sfrac);
+  cfg.scenario = task == "femnist" ? femnist_scenario(sfrac)
+                                   : vision_scenario(sfrac);
+  if (flags.has("clients")) {
+    cfg.scenario.num_clients =
+        static_cast<std::size_t>(flags.integer("clients", 50));
+  }
+  cfg.scenario.dirichlet_alpha = flags.num("alpha", 0.9);
+  cfg.scenario.iid = flags.flag("iid", false);
+  cfg.scenario.secure_aggregation = flags.flag("secure-agg", true);
+
+  const std::string mode = flags.str("mode", "C+S");
+  cfg.feedback.mode = mode == "C"   ? DefenseMode::kClientsOnly
+                      : mode == "S" ? DefenseMode::kServerOnly
+                                    : DefenseMode::kClientsAndServer;
+  cfg.feedback.quorum = static_cast<std::size_t>(flags.integer("q", 5));
+  cfg.feedback.validator.lookback =
+      static_cast<std::size_t>(flags.integer("lookback", 20));
+  cfg.defense_start =
+      static_cast<std::size_t>(flags.integer("defense-start", 20));
+  cfg.defense_enabled = !flags.flag("no-defense", false);
+  cfg.separate_validators = flags.flag("separate-validators", false);
+  cfg.validator_dropout = flags.num("validator-dropout", 0.0);
+
+  const std::string attack = flags.str("attack", "replacement");
+  cfg.schedule = AttackSchedule::stable_scenario();
+  if (flags.has("poison-rounds")) {
+    cfg.schedule.poison_rounds =
+        parse_rounds(flags.str("poison-rounds", ""));
+  }
+  if (attack == "none") cfg.schedule.poison_rounds.clear();
+  cfg.schedule.adaptive = flags.flag("adaptive", false);
+  if (attack == "dba") {
+    cfg.use_dba = true;
+    cfg.scenario.backdoor_override = BackdoorKind::kTrigger;
+    cfg.dba_colluders =
+        static_cast<std::size_t>(flags.integer("colluders", 4));
+  }
+  const std::string vote = flags.str("vote", "accept");
+  cfg.malicious_vote = vote == "honest" ? VoteStrategy::kHonest
+                       : vote == "reject" ? VoteStrategy::kAlwaysReject
+                                          : VoteStrategy::kAlwaysAccept;
+
+  cfg.rounds = static_cast<std::size_t>(flags.integer("rounds", 50));
+  cfg.stable_start = !flags.flag("from-scratch", false);
+
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 1));
+  const bool quiet = flags.flag("quiet", false);
+
+  std::printf("baffle_sim: task=%s mode=%s q=%zu l=%zu rounds=%zu seed=%llu"
+              " attack=%s%s\n\n",
+              task.c_str(), mode.c_str(), cfg.feedback.quorum,
+              cfg.feedback.validator.lookback, cfg.rounds,
+              static_cast<unsigned long long>(seed), attack.c_str(),
+              cfg.schedule.adaptive ? " (adaptive)" : "");
+
+  const ExperimentResult result = run_experiment(cfg, seed);
+
+  if (!quiet) {
+    std::printf("%-7s %-8s %-9s %-9s %-9s %s\n", "round", "poison",
+                "verdict", "votes", "main", "backdoor");
+    for (const auto& r : result.rounds) {
+      if (!r.poisoned && r.round % 5 != 0) continue;
+      std::printf("%-7zu %-8s %-9s %zu/%-7zu %-9.3f %.3f\n", r.round,
+                  r.poisoned ? "YES" : "-",
+                  !r.defense_active ? "(off)"
+                                    : (r.rejected ? "REJECT" : "accept"),
+                  r.reject_votes, r.num_validators, r.main_accuracy,
+                  r.backdoor_accuracy);
+    }
+    std::printf("\n");
+  }
+  std::printf("clean rounds: %zu (false positives: %zu, rate %.3f)\n",
+              result.rates.clean_rounds, result.rates.false_positives,
+              result.rates.fp_rate);
+  std::printf("poisoned rounds: %zu (false negatives: %zu, rate %.3f)\n",
+              result.rates.poisoned_rounds, result.rates.false_negatives,
+              result.rates.fn_rate);
+  if (result.adaptive_skipped > 0) {
+    std::printf("adaptive attacker skipped %zu scheduled rounds\n",
+                result.adaptive_skipped);
+  }
+  std::printf("final main accuracy: %.3f, backdoor accuracy: %.3f\n",
+              result.final_main_accuracy, result.final_backdoor_accuracy);
+  return 0;
+}
