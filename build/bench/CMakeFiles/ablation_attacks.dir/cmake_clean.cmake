@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attacks.dir/ablation_attacks.cpp.o"
+  "CMakeFiles/ablation_attacks.dir/ablation_attacks.cpp.o.d"
+  "ablation_attacks"
+  "ablation_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noniid.dir/ablation_noniid.cpp.o"
+  "CMakeFiles/ablation_noniid.dir/ablation_noniid.cpp.o.d"
+  "ablation_noniid"
+  "ablation_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_overhead.dir/comm_overhead.cpp.o"
+  "CMakeFiles/comm_overhead.dir/comm_overhead.cpp.o.d"
+  "comm_overhead"
+  "comm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

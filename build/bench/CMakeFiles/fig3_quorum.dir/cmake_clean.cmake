@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_quorum.dir/fig3_quorum.cpp.o"
+  "CMakeFiles/fig3_quorum.dir/fig3_quorum.cpp.o.d"
+  "fig3_quorum"
+  "fig3_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

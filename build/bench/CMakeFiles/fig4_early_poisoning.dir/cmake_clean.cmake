@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_early_poisoning.dir/fig4_early_poisoning.cpp.o"
+  "CMakeFiles/fig4_early_poisoning.dir/fig4_early_poisoning.cpp.o.d"
+  "fig4_early_poisoning"
+  "fig4_early_poisoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_early_poisoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

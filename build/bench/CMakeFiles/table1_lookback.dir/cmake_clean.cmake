@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lookback.dir/table1_lookback.cpp.o"
+  "CMakeFiles/table1_lookback.dir/table1_lookback.cpp.o.d"
+  "table1_lookback"
+  "table1_lookback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lookback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_adaptive.dir/table2_adaptive.cpp.o"
+  "CMakeFiles/table2_adaptive.dir/table2_adaptive.cpp.o.d"
+  "table2_adaptive"
+  "table2_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

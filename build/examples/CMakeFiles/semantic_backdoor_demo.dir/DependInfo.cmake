@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/semantic_backdoor_demo.cpp" "examples/CMakeFiles/semantic_backdoor_demo.dir/semantic_backdoor_demo.cpp.o" "gcc" "examples/CMakeFiles/semantic_backdoor_demo.dir/semantic_backdoor_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baffle_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

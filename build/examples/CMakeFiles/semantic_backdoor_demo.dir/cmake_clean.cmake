@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_backdoor_demo.dir/semantic_backdoor_demo.cpp.o"
+  "CMakeFiles/semantic_backdoor_demo.dir/semantic_backdoor_demo.cpp.o.d"
+  "semantic_backdoor_demo"
+  "semantic_backdoor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_backdoor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

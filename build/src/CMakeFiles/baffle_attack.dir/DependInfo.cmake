@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/adaptive.cpp" "src/CMakeFiles/baffle_attack.dir/attack/adaptive.cpp.o" "gcc" "src/CMakeFiles/baffle_attack.dir/attack/adaptive.cpp.o.d"
+  "/root/repo/src/attack/backdoor.cpp" "src/CMakeFiles/baffle_attack.dir/attack/backdoor.cpp.o" "gcc" "src/CMakeFiles/baffle_attack.dir/attack/backdoor.cpp.o.d"
+  "/root/repo/src/attack/dba.cpp" "src/CMakeFiles/baffle_attack.dir/attack/dba.cpp.o" "gcc" "src/CMakeFiles/baffle_attack.dir/attack/dba.cpp.o.d"
+  "/root/repo/src/attack/malicious_voter.cpp" "src/CMakeFiles/baffle_attack.dir/attack/malicious_voter.cpp.o" "gcc" "src/CMakeFiles/baffle_attack.dir/attack/malicious_voter.cpp.o.d"
+  "/root/repo/src/attack/model_replacement.cpp" "src/CMakeFiles/baffle_attack.dir/attack/model_replacement.cpp.o" "gcc" "src/CMakeFiles/baffle_attack.dir/attack/model_replacement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baffle_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

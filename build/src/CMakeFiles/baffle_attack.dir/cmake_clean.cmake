@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_attack.dir/attack/adaptive.cpp.o"
+  "CMakeFiles/baffle_attack.dir/attack/adaptive.cpp.o.d"
+  "CMakeFiles/baffle_attack.dir/attack/backdoor.cpp.o"
+  "CMakeFiles/baffle_attack.dir/attack/backdoor.cpp.o.d"
+  "CMakeFiles/baffle_attack.dir/attack/dba.cpp.o"
+  "CMakeFiles/baffle_attack.dir/attack/dba.cpp.o.d"
+  "CMakeFiles/baffle_attack.dir/attack/malicious_voter.cpp.o"
+  "CMakeFiles/baffle_attack.dir/attack/malicious_voter.cpp.o.d"
+  "CMakeFiles/baffle_attack.dir/attack/model_replacement.cpp.o"
+  "CMakeFiles/baffle_attack.dir/attack/model_replacement.cpp.o.d"
+  "libbaffle_attack.a"
+  "libbaffle_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

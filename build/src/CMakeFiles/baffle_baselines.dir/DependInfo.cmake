@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/flguard_lite.cpp" "src/CMakeFiles/baffle_baselines.dir/baselines/flguard_lite.cpp.o" "gcc" "src/CMakeFiles/baffle_baselines.dir/baselines/flguard_lite.cpp.o.d"
+  "/root/repo/src/baselines/foolsgold.cpp" "src/CMakeFiles/baffle_baselines.dir/baselines/foolsgold.cpp.o" "gcc" "src/CMakeFiles/baffle_baselines.dir/baselines/foolsgold.cpp.o.d"
+  "/root/repo/src/baselines/krum.cpp" "src/CMakeFiles/baffle_baselines.dir/baselines/krum.cpp.o" "gcc" "src/CMakeFiles/baffle_baselines.dir/baselines/krum.cpp.o.d"
+  "/root/repo/src/baselines/median.cpp" "src/CMakeFiles/baffle_baselines.dir/baselines/median.cpp.o" "gcc" "src/CMakeFiles/baffle_baselines.dir/baselines/median.cpp.o.d"
+  "/root/repo/src/baselines/norm_clip.cpp" "src/CMakeFiles/baffle_baselines.dir/baselines/norm_clip.cpp.o" "gcc" "src/CMakeFiles/baffle_baselines.dir/baselines/norm_clip.cpp.o.d"
+  "/root/repo/src/baselines/rfa.cpp" "src/CMakeFiles/baffle_baselines.dir/baselines/rfa.cpp.o" "gcc" "src/CMakeFiles/baffle_baselines.dir/baselines/rfa.cpp.o.d"
+  "/root/repo/src/baselines/trimmed_mean.cpp" "src/CMakeFiles/baffle_baselines.dir/baselines/trimmed_mean.cpp.o" "gcc" "src/CMakeFiles/baffle_baselines.dir/baselines/trimmed_mean.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baffle_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

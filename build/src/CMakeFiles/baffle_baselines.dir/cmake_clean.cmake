@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_baselines.dir/baselines/flguard_lite.cpp.o"
+  "CMakeFiles/baffle_baselines.dir/baselines/flguard_lite.cpp.o.d"
+  "CMakeFiles/baffle_baselines.dir/baselines/foolsgold.cpp.o"
+  "CMakeFiles/baffle_baselines.dir/baselines/foolsgold.cpp.o.d"
+  "CMakeFiles/baffle_baselines.dir/baselines/krum.cpp.o"
+  "CMakeFiles/baffle_baselines.dir/baselines/krum.cpp.o.d"
+  "CMakeFiles/baffle_baselines.dir/baselines/median.cpp.o"
+  "CMakeFiles/baffle_baselines.dir/baselines/median.cpp.o.d"
+  "CMakeFiles/baffle_baselines.dir/baselines/norm_clip.cpp.o"
+  "CMakeFiles/baffle_baselines.dir/baselines/norm_clip.cpp.o.d"
+  "CMakeFiles/baffle_baselines.dir/baselines/rfa.cpp.o"
+  "CMakeFiles/baffle_baselines.dir/baselines/rfa.cpp.o.d"
+  "CMakeFiles/baffle_baselines.dir/baselines/trimmed_mean.cpp.o"
+  "CMakeFiles/baffle_baselines.dir/baselines/trimmed_mean.cpp.o.d"
+  "libbaffle_baselines.a"
+  "libbaffle_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/defense.cpp" "src/CMakeFiles/baffle_core.dir/core/defense.cpp.o" "gcc" "src/CMakeFiles/baffle_core.dir/core/defense.cpp.o.d"
+  "/root/repo/src/core/error_variation.cpp" "src/CMakeFiles/baffle_core.dir/core/error_variation.cpp.o" "gcc" "src/CMakeFiles/baffle_core.dir/core/error_variation.cpp.o.d"
+  "/root/repo/src/core/feedback_loop.cpp" "src/CMakeFiles/baffle_core.dir/core/feedback_loop.cpp.o" "gcc" "src/CMakeFiles/baffle_core.dir/core/feedback_loop.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/CMakeFiles/baffle_core.dir/core/history.cpp.o" "gcc" "src/CMakeFiles/baffle_core.dir/core/history.cpp.o.d"
+  "/root/repo/src/core/lof.cpp" "src/CMakeFiles/baffle_core.dir/core/lof.cpp.o" "gcc" "src/CMakeFiles/baffle_core.dir/core/lof.cpp.o.d"
+  "/root/repo/src/core/prediction_cache.cpp" "src/CMakeFiles/baffle_core.dir/core/prediction_cache.cpp.o" "gcc" "src/CMakeFiles/baffle_core.dir/core/prediction_cache.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/baffle_core.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/baffle_core.dir/core/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baffle_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

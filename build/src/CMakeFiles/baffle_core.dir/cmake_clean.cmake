@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_core.dir/core/defense.cpp.o"
+  "CMakeFiles/baffle_core.dir/core/defense.cpp.o.d"
+  "CMakeFiles/baffle_core.dir/core/error_variation.cpp.o"
+  "CMakeFiles/baffle_core.dir/core/error_variation.cpp.o.d"
+  "CMakeFiles/baffle_core.dir/core/feedback_loop.cpp.o"
+  "CMakeFiles/baffle_core.dir/core/feedback_loop.cpp.o.d"
+  "CMakeFiles/baffle_core.dir/core/history.cpp.o"
+  "CMakeFiles/baffle_core.dir/core/history.cpp.o.d"
+  "CMakeFiles/baffle_core.dir/core/lof.cpp.o"
+  "CMakeFiles/baffle_core.dir/core/lof.cpp.o.d"
+  "CMakeFiles/baffle_core.dir/core/prediction_cache.cpp.o"
+  "CMakeFiles/baffle_core.dir/core/prediction_cache.cpp.o.d"
+  "CMakeFiles/baffle_core.dir/core/validate.cpp.o"
+  "CMakeFiles/baffle_core.dir/core/validate.cpp.o.d"
+  "libbaffle_core.a"
+  "libbaffle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_data.dir/data/backdoor_data.cpp.o"
+  "CMakeFiles/baffle_data.dir/data/backdoor_data.cpp.o.d"
+  "CMakeFiles/baffle_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/baffle_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/baffle_data.dir/data/partition.cpp.o"
+  "CMakeFiles/baffle_data.dir/data/partition.cpp.o.d"
+  "CMakeFiles/baffle_data.dir/data/synth.cpp.o"
+  "CMakeFiles/baffle_data.dir/data/synth.cpp.o.d"
+  "libbaffle_data.a"
+  "libbaffle_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

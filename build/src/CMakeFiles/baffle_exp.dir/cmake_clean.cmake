@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_exp.dir/exp/experiment.cpp.o"
+  "CMakeFiles/baffle_exp.dir/exp/experiment.cpp.o.d"
+  "CMakeFiles/baffle_exp.dir/exp/report.cpp.o"
+  "CMakeFiles/baffle_exp.dir/exp/report.cpp.o.d"
+  "CMakeFiles/baffle_exp.dir/exp/rho.cpp.o"
+  "CMakeFiles/baffle_exp.dir/exp/rho.cpp.o.d"
+  "CMakeFiles/baffle_exp.dir/exp/scenario.cpp.o"
+  "CMakeFiles/baffle_exp.dir/exp/scenario.cpp.o.d"
+  "CMakeFiles/baffle_exp.dir/exp/schedule.cpp.o"
+  "CMakeFiles/baffle_exp.dir/exp/schedule.cpp.o.d"
+  "libbaffle_exp.a"
+  "libbaffle_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

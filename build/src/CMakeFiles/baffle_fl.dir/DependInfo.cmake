@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregator.cpp" "src/CMakeFiles/baffle_fl.dir/fl/aggregator.cpp.o" "gcc" "src/CMakeFiles/baffle_fl.dir/fl/aggregator.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/CMakeFiles/baffle_fl.dir/fl/client.cpp.o" "gcc" "src/CMakeFiles/baffle_fl.dir/fl/client.cpp.o.d"
+  "/root/repo/src/fl/comm.cpp" "src/CMakeFiles/baffle_fl.dir/fl/comm.cpp.o" "gcc" "src/CMakeFiles/baffle_fl.dir/fl/comm.cpp.o.d"
+  "/root/repo/src/fl/sampler.cpp" "src/CMakeFiles/baffle_fl.dir/fl/sampler.cpp.o" "gcc" "src/CMakeFiles/baffle_fl.dir/fl/sampler.cpp.o.d"
+  "/root/repo/src/fl/secure_agg.cpp" "src/CMakeFiles/baffle_fl.dir/fl/secure_agg.cpp.o" "gcc" "src/CMakeFiles/baffle_fl.dir/fl/secure_agg.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/CMakeFiles/baffle_fl.dir/fl/server.cpp.o" "gcc" "src/CMakeFiles/baffle_fl.dir/fl/server.cpp.o.d"
+  "/root/repo/src/fl/update.cpp" "src/CMakeFiles/baffle_fl.dir/fl/update.cpp.o" "gcc" "src/CMakeFiles/baffle_fl.dir/fl/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baffle_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

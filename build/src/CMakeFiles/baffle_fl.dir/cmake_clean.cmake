@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_fl.dir/fl/aggregator.cpp.o"
+  "CMakeFiles/baffle_fl.dir/fl/aggregator.cpp.o.d"
+  "CMakeFiles/baffle_fl.dir/fl/client.cpp.o"
+  "CMakeFiles/baffle_fl.dir/fl/client.cpp.o.d"
+  "CMakeFiles/baffle_fl.dir/fl/comm.cpp.o"
+  "CMakeFiles/baffle_fl.dir/fl/comm.cpp.o.d"
+  "CMakeFiles/baffle_fl.dir/fl/sampler.cpp.o"
+  "CMakeFiles/baffle_fl.dir/fl/sampler.cpp.o.d"
+  "CMakeFiles/baffle_fl.dir/fl/secure_agg.cpp.o"
+  "CMakeFiles/baffle_fl.dir/fl/secure_agg.cpp.o.d"
+  "CMakeFiles/baffle_fl.dir/fl/server.cpp.o"
+  "CMakeFiles/baffle_fl.dir/fl/server.cpp.o.d"
+  "CMakeFiles/baffle_fl.dir/fl/update.cpp.o"
+  "CMakeFiles/baffle_fl.dir/fl/update.cpp.o.d"
+  "libbaffle_fl.a"
+  "libbaffle_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_metrics.dir/metrics/confusion.cpp.o"
+  "CMakeFiles/baffle_metrics.dir/metrics/confusion.cpp.o.d"
+  "CMakeFiles/baffle_metrics.dir/metrics/rates.cpp.o"
+  "CMakeFiles/baffle_metrics.dir/metrics/rates.cpp.o.d"
+  "libbaffle_metrics.a"
+  "libbaffle_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/baffle_nn.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/baffle_nn.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/compression.cpp" "src/CMakeFiles/baffle_nn.dir/nn/compression.cpp.o" "gcc" "src/CMakeFiles/baffle_nn.dir/nn/compression.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/baffle_nn.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/baffle_nn.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/baffle_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/baffle_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/baffle_nn.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/baffle_nn.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/model_codec.cpp" "src/CMakeFiles/baffle_nn.dir/nn/model_codec.cpp.o" "gcc" "src/CMakeFiles/baffle_nn.dir/nn/model_codec.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/CMakeFiles/baffle_nn.dir/nn/sgd.cpp.o" "gcc" "src/CMakeFiles/baffle_nn.dir/nn/sgd.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/CMakeFiles/baffle_nn.dir/nn/train.cpp.o" "gcc" "src/CMakeFiles/baffle_nn.dir/nn/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baffle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

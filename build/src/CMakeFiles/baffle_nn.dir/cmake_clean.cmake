@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_nn.dir/nn/activation.cpp.o"
+  "CMakeFiles/baffle_nn.dir/nn/activation.cpp.o.d"
+  "CMakeFiles/baffle_nn.dir/nn/compression.cpp.o"
+  "CMakeFiles/baffle_nn.dir/nn/compression.cpp.o.d"
+  "CMakeFiles/baffle_nn.dir/nn/dense.cpp.o"
+  "CMakeFiles/baffle_nn.dir/nn/dense.cpp.o.d"
+  "CMakeFiles/baffle_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/baffle_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/baffle_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/baffle_nn.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/baffle_nn.dir/nn/model_codec.cpp.o"
+  "CMakeFiles/baffle_nn.dir/nn/model_codec.cpp.o.d"
+  "CMakeFiles/baffle_nn.dir/nn/sgd.cpp.o"
+  "CMakeFiles/baffle_nn.dir/nn/sgd.cpp.o.d"
+  "CMakeFiles/baffle_nn.dir/nn/train.cpp.o"
+  "CMakeFiles/baffle_nn.dir/nn/train.cpp.o.d"
+  "libbaffle_nn.a"
+  "libbaffle_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_tensor.dir/tensor/matrix.cpp.o"
+  "CMakeFiles/baffle_tensor.dir/tensor/matrix.cpp.o.d"
+  "CMakeFiles/baffle_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/baffle_tensor.dir/tensor/ops.cpp.o.d"
+  "libbaffle_tensor.a"
+  "libbaffle_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_util.dir/util/csv.cpp.o"
+  "CMakeFiles/baffle_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/baffle_util.dir/util/logging.cpp.o"
+  "CMakeFiles/baffle_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/baffle_util.dir/util/rng.cpp.o"
+  "CMakeFiles/baffle_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/baffle_util.dir/util/serialization.cpp.o"
+  "CMakeFiles/baffle_util.dir/util/serialization.cpp.o.d"
+  "CMakeFiles/baffle_util.dir/util/stats.cpp.o"
+  "CMakeFiles/baffle_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/baffle_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/baffle_util.dir/util/thread_pool.cpp.o.d"
+  "libbaffle_util.a"
+  "libbaffle_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

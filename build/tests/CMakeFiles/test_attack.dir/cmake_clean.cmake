@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/attack/adaptive_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/adaptive_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/backdoor_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/backdoor_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/dba_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/dba_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/malicious_voter_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/malicious_voter_test.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/model_replacement_test.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/model_replacement_test.cpp.o.d"
+  "test_attack"
+  "test_attack.pdb"
+  "test_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

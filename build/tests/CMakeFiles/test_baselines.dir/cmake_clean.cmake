@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/flguard_lite_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/flguard_lite_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/foolsgold_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/foolsgold_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/krum_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/krum_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/median_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/median_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/norm_clip_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/norm_clip_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/rfa_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/rfa_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/trimmed_mean_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/trimmed_mean_test.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

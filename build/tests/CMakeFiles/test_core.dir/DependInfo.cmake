@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/defense_test.cpp" "tests/CMakeFiles/test_core.dir/core/defense_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/defense_test.cpp.o.d"
+  "/root/repo/tests/core/error_variation_test.cpp" "tests/CMakeFiles/test_core.dir/core/error_variation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/error_variation_test.cpp.o.d"
+  "/root/repo/tests/core/feedback_loop_test.cpp" "tests/CMakeFiles/test_core.dir/core/feedback_loop_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/feedback_loop_test.cpp.o.d"
+  "/root/repo/tests/core/history_test.cpp" "tests/CMakeFiles/test_core.dir/core/history_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/history_test.cpp.o.d"
+  "/root/repo/tests/core/lof_test.cpp" "tests/CMakeFiles/test_core.dir/core/lof_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lof_test.cpp.o.d"
+  "/root/repo/tests/core/prediction_cache_test.cpp" "tests/CMakeFiles/test_core.dir/core/prediction_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/prediction_cache_test.cpp.o.d"
+  "/root/repo/tests/core/validate_test.cpp" "tests/CMakeFiles/test_core.dir/core/validate_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/validate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baffle_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/defense_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/defense_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/error_variation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/error_variation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/feedback_loop_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/feedback_loop_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/history_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/history_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/lof_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/lof_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/prediction_cache_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/prediction_cache_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/validate_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/validate_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl.dir/fl/aggregator_test.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/aggregator_test.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/client_test.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/client_test.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/comm_test.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/comm_test.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/sampler_test.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/sampler_test.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/secure_agg_test.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/secure_agg_test.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/server_test.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/server_test.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/update_test.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/update_test.cpp.o.d"
+  "test_fl"
+  "test_fl.pdb"
+  "test_fl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/adaptive_pipeline_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/adaptive_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/adaptive_pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/defense_pipeline_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/defense_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/defense_pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/early_scenario_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/early_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/early_scenario_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/experiment_features_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/experiment_features_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/experiment_features_test.cpp.o.d"
+  "/root/repo/tests/integration/secure_agg_pipeline_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/secure_agg_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/secure_agg_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baffle_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baffle_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

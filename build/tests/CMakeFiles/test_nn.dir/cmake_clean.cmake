@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/compression_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/compression_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/dense_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/dense_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/mlp_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/mlp_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/model_codec_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/model_codec_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/sgd_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/sgd_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/train_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/train_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

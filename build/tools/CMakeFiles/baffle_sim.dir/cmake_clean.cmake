@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baffle_sim.dir/baffle_sim.cpp.o"
+  "CMakeFiles/baffle_sim.dir/baffle_sim.cpp.o.d"
+  "baffle_sim"
+  "baffle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baffle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(baffle_sim_help "/root/repo/build/tools/baffle_sim" "--help")
+set_tests_properties(baffle_sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(baffle_sim_defended_run "/root/repo/build/tools/baffle_sim" "--quiet=1" "--rounds=35" "--clients=30" "--defense-start=12" "--lookback=10" "--poison-rounds=25,30")
+set_tests_properties(baffle_sim_defended_run PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(baffle_sim_rejects_unknown_arg "/root/repo/build/tools/baffle_sim" "bogus")
+set_tests_properties(baffle_sim_rejects_unknown_arg PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
