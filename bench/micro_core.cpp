@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/defense.hpp"
 #include "core/validate.hpp"
 #include "data/synth.hpp"
 #include "fl/secure_agg.hpp"
@@ -27,6 +28,59 @@ void BM_GemmForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_GemmForward)->Arg(32)->Arg(256);
+
+/// Square GEMM throughput (the acceptance target is 256x256x256). The
+/// GFLOP/s counter counts 2*n^3 flops per multiply.
+void BM_GemmSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  Matrix a(n, n), b(n, n), out(n, n);
+  for (float& x : a.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : b.flat()) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm_ab(a, b, out);
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n * n * n) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
+
+void BM_GemmAtbSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Matrix a(n, n), b(n, n), out(n, n);
+  for (float& x : a.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : b.flat()) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm_atb(a, b, out);
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n * n * n) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmAtbSquare)->Arg(256)->UseRealTime();
+
+void BM_GemmAbtSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  Matrix a(n, n), b(n, n), out(n, n);
+  for (float& x : a.flat()) x = static_cast<float>(rng.normal());
+  for (float& x : b.flat()) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm_abt(a, b, out);
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n * n * n) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmAbtSquare)->Arg(256)->UseRealTime();
 
 void BM_LofScore(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -80,8 +134,8 @@ void BM_LocalTraining(benchmark::State& state) {
   const SynthTask task = make_synth_task(cfg, rng);
   Mlp model(MlpConfig{{cfg.dim, 64, cfg.num_classes}, Activation::kRelu});
   model.init(rng);
-  const Matrix x = task.train.features();
-  const auto labels = task.train.labels();
+  const Matrix& x = task.train.features();
+  const auto& labels = task.train.labels();
   TrainConfig tc;  // 2 epochs: one client's per-round work
   for (auto _ : state) {
     Mlp local = model;
@@ -124,6 +178,50 @@ void BM_ValidateCall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValidateCall);
+
+void BM_ValidationRound(benchmark::State& state) {
+  // End-to-end per-round validation cost at l = 10, n = 10: the server
+  // runs the feedback loop over ten client validators plus its own
+  // holdout. History caches are warm (steady state), so each iteration
+  // pays exactly what one round pays — n+1 candidate evaluations plus
+  // the LOF scoring — on the global thread pool.
+  Rng rng(9);
+  SynthTaskConfig cfg = synth_vision10_config();
+  cfg.train_per_class = 60;
+  const SynthTask task = make_synth_task(cfg, rng);
+  const MlpConfig arch{{cfg.dim, 32, cfg.num_classes}, Activation::kRelu};
+  std::vector<FlClient> clients;
+  for (std::size_t i = 0; i < 10; ++i) {
+    clients.emplace_back(i, task.train.sample(200, rng));
+  }
+  Mlp model(arch);
+  model.init(rng);
+  TrainConfig warm;
+  warm.epochs = 8;
+  warm.sgd.learning_rate = 0.05f;
+  train_sgd(model, task.train.features(), task.train.labels(), warm, rng);
+
+  FeedbackConfig fcfg;
+  fcfg.mode = DefenseMode::kClientsAndServer;
+  fcfg.quorum = 5;
+  fcfg.validator.lookback = 10;
+  BaffleDefense defense(arch, fcfg, task.test.sample(150, rng));
+  TrainConfig slice;
+  slice.epochs = 1;
+  slice.sgd.learning_rate = 0.01f;
+  for (std::uint64_t v = 0; v <= 10; ++v) {
+    defense.on_commit(v, model.parameters());
+    train_sgd(model, task.train.features(), task.train.labels(), slice, rng);
+  }
+  const ParamVec candidate = model.parameters();
+  const std::vector<std::size_t> ids{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  defense.evaluate(candidate, ids, clients, {}, VoteStrategy::kHonest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        defense.evaluate(candidate, ids, clients, {}, VoteStrategy::kHonest));
+  }
+}
+BENCHMARK(BM_ValidationRound)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace baffle

@@ -24,8 +24,7 @@ std::optional<AdaptiveUpdate> craft_adaptive_update(
   // teach the adversarial sub-task.
   Dataset clean_view = attacker_clean;
   if (config.clone_global_behavior && !attacker_clean.empty()) {
-    Mlp oracle = global;
-    const auto preds = oracle.predict(attacker_clean.features());
+    const auto preds = global.predict(attacker_clean.features());
     Dataset cloned(attacker_clean.dim(), attacker_clean.num_classes());
     for (std::size_t i = 0; i < attacker_clean.size(); ++i) {
       Example ex = attacker_clean[i];

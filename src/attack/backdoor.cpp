@@ -4,7 +4,7 @@
 
 namespace baffle {
 
-double backdoor_accuracy(Mlp& model, const Dataset& backdoor_test,
+double backdoor_accuracy(const Mlp& model, const Dataset& backdoor_test,
                          int target_class) {
   if (backdoor_test.empty()) {
     throw std::invalid_argument("backdoor_accuracy: empty test set");

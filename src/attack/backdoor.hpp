@@ -10,7 +10,7 @@ namespace baffle {
 /// assigns to the attacker's target class. Only the attacker can compute
 /// this — defenders do not know X* — so it appears exclusively in the
 /// evaluation harness, never inside the defense.
-double backdoor_accuracy(Mlp& model, const Dataset& backdoor_test,
+double backdoor_accuracy(const Mlp& model, const Dataset& backdoor_test,
                          int target_class);
 
 }  // namespace baffle

@@ -18,9 +18,7 @@ ParamVec craft_replacement_update(const Mlp& global,
       attacker_clean, backdoor_pool, config.task, config.poison_fraction,
       rng);
   Mlp local = global;
-  const Matrix x = poisoned.features();
-  const auto labels = poisoned.labels();
-  train_sgd(local, x, labels, config.train, rng);
+  train_sgd(local, poisoned.features(), poisoned.labels(), config.train, rng);
   ParamVec update = subtract(local.parameters(), global.parameters());
   scale(update, static_cast<float>(config.boost * config.scale));
   return update;

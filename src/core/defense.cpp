@@ -73,15 +73,16 @@ FeedbackDecision BaffleDefense::evaluate(
 
   std::vector<int> votes(validators.size(), 0);
   std::vector<ValidationOutcome> outcomes(validators.size());
-  int server_vote = 0;
+  ValidationOutcome server_outcome;
+  const bool use_server =
+      config_.mode != DefenseMode::kClientsOnly && server_validator_;
   std::size_t abstentions = 0;
 
   ThreadPool::global().parallel_for(
       validators.size() + 1, [&](std::size_t i) {
         if (i == validators.size()) {
-          if (config_.mode != DefenseMode::kClientsOnly &&
-              server_validator_) {
-            server_vote = server_validator_->validate(candidate, window).vote;
+          if (use_server) {
+            server_outcome = server_validator_->validate(candidate, window);
           }
           return;
         }
@@ -93,6 +94,10 @@ FeedbackDecision BaffleDefense::evaluate(
   for (std::size_t i = 0; i < validators.size(); ++i) {
     if (validators[i] == nullptr || outcomes[i].abstained) ++abstentions;
   }
+  // An abstaining server must not be tallied as an accept vote: it is
+  // excluded from the voter count like an abstaining client.
+  const bool server_abstained = use_server && server_outcome.abstained;
+  if (server_abstained) ++abstentions;
 
   const std::vector<int> manipulated =
       use_clients ? apply_vote_strategy(votes, validating_ids, malicious_ids,
@@ -102,7 +107,7 @@ FeedbackDecision BaffleDefense::evaluate(
       decide_quorum(config_.mode, config_.quorum, manipulated,
                     use_clients ? validating_ids
                                 : std::vector<std::size_t>{},
-                    server_vote);
+                    server_outcome.vote, server_abstained);
   decision.abstentions = abstentions;
   return decision;
 }

@@ -17,7 +17,7 @@ const char* defense_mode_name(DefenseMode mode) {
 FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
                                const std::vector<int>& votes,
                                const std::vector<std::size_t>& voter_ids,
-                               int server_vote) {
+                               int server_vote, bool server_abstained) {
   if (votes.size() != voter_ids.size()) {
     throw std::invalid_argument("decide_quorum: votes/ids mismatch");
   }
@@ -26,6 +26,10 @@ FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
   decision.client_ids = voter_ids;
 
   if (mode == DefenseMode::kServerOnly) {
+    if (server_abstained) {
+      // No usable verdict: nobody voted, so nothing can be rejected.
+      return decision;
+    }
     decision.server_vote = server_vote;
     decision.server_voted = true;
     decision.total_voters = 1;
@@ -39,7 +43,7 @@ FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
     if (v != 0) ++reject_votes;
   }
   decision.total_voters = votes.size();
-  if (mode == DefenseMode::kClientsAndServer) {
+  if (mode == DefenseMode::kClientsAndServer && !server_abstained) {
     decision.server_vote = server_vote;
     decision.server_voted = true;
     decision.total_voters += 1;

@@ -51,10 +51,14 @@ struct FeedbackDecision {
 
 /// Tallies votes and applies the quorum rule. `votes`/`voter_ids` are the
 /// clients' verdicts (already subjected to any malicious strategy);
-/// `server_vote` is ignored unless the mode includes the server.
+/// `server_vote` is ignored unless the mode includes the server. An
+/// abstaining server (history too short to judge) is excluded from the
+/// voter count instead of being tallied as an accept — in BAFFLE-S that
+/// means no voters at all, and the round passes by default.
 FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
                                const std::vector<int>& votes,
                                const std::vector<std::size_t>& voter_ids,
-                               int server_vote);
+                               int server_vote,
+                               bool server_abstained = false);
 
 }  // namespace baffle

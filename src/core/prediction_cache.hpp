@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "metrics/confusion.hpp"
+#include "util/metrics.hpp"
 
 namespace baffle {
 
@@ -27,14 +28,17 @@ class PredictionCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
-  /// Lookup-or-evaluate helper; counts hit/miss statistics.
+  /// Lookup-or-evaluate helper; counts hit/miss statistics (per cache
+  /// and aggregated into the global metrics registry).
   template <typename EvalFn>
   const ConfusionMatrix& get_or_eval(std::uint64_t version, EvalFn&& eval) {
     if (const auto* found = find(version)) {
       ++hits_;
+      MetricsRegistry::global().add_counter("prediction_cache.hits");
       return *found;
     }
     ++misses_;
+    MetricsRegistry::global().add_counter("prediction_cache.misses");
     insert(version, eval());
     return *find(version);
   }

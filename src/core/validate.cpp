@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace baffle {
@@ -36,7 +37,7 @@ Validator::Validator(Dataset data, MlpConfig arch, ValidatorConfig config)
 
 ConfusionMatrix Validator::evaluate_params(const ParamVec& params) {
   scratch_model_.set_parameters(params);
-  return evaluate_confusion(scratch_model_, data_);
+  return evaluate_confusion(scratch_model_, data_, eval_ws_);
 }
 
 const ConfusionMatrix& Validator::evaluate_history(
@@ -61,6 +62,8 @@ double guarded_zscore(double value, std::span<const double> history_values) {
 
 ValidationOutcome Validator::validate(const ParamVec& candidate,
                                       std::span<const GlobalModel> history) {
+  const ScopedTimer timer("validator.validate");
+  MetricsRegistry::global().add_counter("validator.validations");
   ValidationOutcome outcome;
 
   // Variation points between consecutive accepted models. A history of

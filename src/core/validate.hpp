@@ -88,7 +88,8 @@ class Validator {
 
   Dataset data_;
   ValidatorConfig config_;
-  Mlp scratch_model_;  // reused for every evaluation
+  Mlp scratch_model_;          // reused for every evaluation
+  MlpEvalWorkspace eval_ws_;   // inference scratch, reused likewise
   PredictionCache cache_;
 };
 

@@ -6,6 +6,24 @@
 
 namespace baffle {
 
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  num_classes_ = other.num_classes_;
+  examples_ = other.examples_;
+  invalidate_cache();
+  return *this;
+}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  num_classes_ = other.num_classes_;
+  examples_ = std::move(other.examples_);
+  invalidate_cache();
+  return *this;
+}
+
 void Dataset::add(Example ex) {
   if (ex.x.size() != dim_) {
     throw std::invalid_argument("Dataset::add: feature dim mismatch");
@@ -14,21 +32,35 @@ void Dataset::add(Example ex) {
     throw std::invalid_argument("Dataset::add: label out of range");
   }
   examples_.push_back(std::move(ex));
+  invalidate_cache();
 }
 
-Matrix Dataset::features() const {
-  Matrix m(examples_.size(), dim_);
+const Matrix& Dataset::features() const {
+  materialize_cache();
+  return features_cache_;
+}
+
+const std::vector<int>& Dataset::labels() const {
+  materialize_cache();
+  return labels_cache_;
+}
+
+void Dataset::invalidate_cache() {
+  std::lock_guard lock(cache_mutex_);
+  cache_valid_ = false;
+}
+
+void Dataset::materialize_cache() const {
+  std::lock_guard lock(cache_mutex_);
+  if (cache_valid_) return;
+  features_cache_.resize(examples_.size(), dim_);
+  labels_cache_.resize(examples_.size());
   for (std::size_t i = 0; i < examples_.size(); ++i) {
-    auto row = m.row(i);
+    auto row = features_cache_.row(i);
     std::copy(examples_[i].x.begin(), examples_[i].x.end(), row.begin());
+    labels_cache_[i] = examples_[i].y;
   }
-  return m;
-}
-
-std::vector<int> Dataset::labels() const {
-  std::vector<int> out(examples_.size());
-  for (std::size_t i = 0; i < examples_.size(); ++i) out[i] = examples_[i].y;
-  return out;
+  cache_valid_ = true;
 }
 
 std::vector<std::size_t> Dataset::class_counts() const {
@@ -64,6 +96,7 @@ void Dataset::merge(const Dataset& other) {
   }
   examples_.insert(examples_.end(), other.examples_.begin(),
                    other.examples_.end());
+  invalidate_cache();
 }
 
 std::pair<Dataset, Dataset> Dataset::split(double fraction, Rng& rng) const {
@@ -87,6 +120,9 @@ Dataset Dataset::sample(std::size_t k, Rng& rng) const {
   return subset(idx);
 }
 
-void Dataset::shuffle(Rng& rng) { rng.shuffle(examples_); }
+void Dataset::shuffle(Rng& rng) {
+  rng.shuffle(examples_);
+  invalidate_cache();
+}
 
 }  // namespace baffle

@@ -1,7 +1,15 @@
 #pragma once
 // Labelled dataset container plus the conversions the training loop and
 // the metrics layer need.
+//
+// features()/labels() return references into a lazily materialized
+// cache, built once per mutation epoch — the validation loop evaluates
+// the same held-out set against ℓ+1 models every round, and used to pay
+// a full matrix copy per evaluation. Concurrent const access is safe
+// (the cache fill is mutex-guarded); mutation needs external
+// synchronization, like any standard container.
 
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -21,6 +29,19 @@ class Dataset {
   Dataset(std::size_t dim, std::size_t num_classes)
       : dim_(dim), num_classes_(num_classes) {}
 
+  // The mutex member deletes the defaults; copies drop the cache (it is
+  // rebuilt on first access), moves would not be cheaper by keeping it.
+  Dataset(const Dataset& other)
+      : dim_(other.dim_),
+        num_classes_(other.num_classes_),
+        examples_(other.examples_) {}
+  Dataset(Dataset&& other) noexcept
+      : dim_(other.dim_),
+        num_classes_(other.num_classes_),
+        examples_(std::move(other.examples_)) {}
+  Dataset& operator=(const Dataset& other);
+  Dataset& operator=(Dataset&& other) noexcept;
+
   std::size_t dim() const { return dim_; }
   std::size_t num_classes() const { return num_classes_; }
   std::size_t size() const { return examples_.size(); }
@@ -32,11 +53,13 @@ class Dataset {
   /// Appends an example; validates feature dim and label range.
   void add(Example ex);
 
-  /// Dense feature matrix (one sample per row).
-  Matrix features() const;
+  /// Dense feature matrix (one sample per row). The reference stays
+  /// valid until the next mutating call.
+  const Matrix& features() const;
 
-  /// Integer labels, aligned with features() rows.
-  std::vector<int> labels() const;
+  /// Integer labels, aligned with features() rows. Same lifetime rules
+  /// as features().
+  const std::vector<int>& labels() const;
 
   /// Per-class sample counts (length = num_classes).
   std::vector<std::size_t> class_counts() const;
@@ -59,9 +82,20 @@ class Dataset {
   void shuffle(Rng& rng);
 
  private:
+  void invalidate_cache();
+  void materialize_cache() const;
+
   std::size_t dim_ = 0;
   std::size_t num_classes_ = 0;
   std::vector<Example> examples_;
+
+  // Lazily built dense views of examples_, shared by every evaluation
+  // against this dataset. Guarded so concurrent readers race only on
+  // who fills it.
+  mutable std::mutex cache_mutex_;
+  mutable bool cache_valid_ = false;
+  mutable Matrix features_cache_;
+  mutable std::vector<int> labels_cache_;
 };
 
 }  // namespace baffle

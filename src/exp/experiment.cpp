@@ -1,5 +1,6 @@
 #include "exp/experiment.hpp"
 
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <unordered_set>
@@ -7,6 +8,7 @@
 #include "attack/backdoor.hpp"
 #include "attack/dba.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace baffle {
@@ -280,6 +282,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     const bool active = config.defense_enabled &&
                         r >= config.defense_start && defense.ready();
     FeedbackDecision decision;
+    double eval_seconds = 0.0;
     if (active) {
       // Validating set: the contributors (§VI-D optimization) or an
       // independently sampled set (Algorithm 1's original form).
@@ -291,9 +294,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
           return rng.bernoulli(config.validator_dropout);
         });
       }
+      const auto eval_start = std::chrono::steady_clock::now();
       decision = defense.evaluate(proposal.candidate_params, validators,
                                   scenario.clients, malicious_ids,
                                   config.malicious_vote);
+      eval_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - eval_start)
+                         .count();
+      MetricsRegistry::global().add_timer("experiment.round_eval",
+                                          eval_seconds);
     }
 
     const bool rejected = active && decision.reject;
@@ -311,6 +320,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     record.rejected = rejected;
     record.reject_votes = decision.reject_votes;
     record.num_validators = decision.total_voters;
+    record.eval_ms = eval_seconds * 1e3;
     if (config.track_accuracy) {
       record.main_accuracy = evaluate_confusion(server.global_model(),
                                                 scenario.task.test)

@@ -12,9 +12,7 @@ ParamVec FlClient::compute_update(const Mlp& global, const TrainConfig& config,
     return ParamVec(global.num_params(), 0.0f);
   }
   Mlp local = global;
-  const Matrix x = data_.features();
-  const auto labels = data_.labels();
-  train_sgd(local, x, labels, config, rng);
+  train_sgd(local, data_.features(), data_.labels(), config, rng);
   return subtract(local.parameters(), global.parameters());
 }
 

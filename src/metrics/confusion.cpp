@@ -78,16 +78,23 @@ std::vector<double> ConfusionMatrix::per_class_error_rates() const {
   return out;
 }
 
-ConfusionMatrix evaluate_confusion(Mlp& model, const Dataset& data) {
+ConfusionMatrix evaluate_confusion(const Mlp& model, const Dataset& data,
+                                   MlpEvalWorkspace& ws) {
   ConfusionMatrix cm(data.num_classes());
   if (data.empty()) return cm;
-  const Matrix x = data.features();
-  const auto labels = data.labels();
-  const auto preds = model.predict(x);
-  for (std::size_t i = 0; i < preds.size(); ++i) {
-    cm.record(labels[i], static_cast<int>(preds[i]));
+  const Matrix& x = data.features();
+  const auto& labels = data.labels();
+  ws.predictions.resize(x.rows());
+  model.predict_into(x, ws.predictions, ws);
+  for (std::size_t i = 0; i < ws.predictions.size(); ++i) {
+    cm.record(labels[i], static_cast<int>(ws.predictions[i]));
   }
   return cm;
+}
+
+ConfusionMatrix evaluate_confusion(const Mlp& model, const Dataset& data) {
+  MlpEvalWorkspace ws;
+  return evaluate_confusion(model, data, ws);
 }
 
 }  // namespace baffle

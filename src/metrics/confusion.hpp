@@ -48,6 +48,12 @@ class ConfusionMatrix {
 };
 
 /// Evaluates `model` on `data` and tallies the confusion matrix.
-ConfusionMatrix evaluate_confusion(Mlp& model, const Dataset& data);
+/// Inference runs chunked through `ws`, so repeated evaluations (the
+/// validator's ℓ+1 models per round) reuse the same scratch storage.
+ConfusionMatrix evaluate_confusion(const Mlp& model, const Dataset& data,
+                                   MlpEvalWorkspace& ws);
+
+/// Convenience overload with a throwaway workspace.
+ConfusionMatrix evaluate_confusion(const Mlp& model, const Dataset& data);
 
 }  // namespace baffle

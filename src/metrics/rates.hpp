@@ -22,6 +22,7 @@ struct RoundRecord {
   double backdoor_accuracy = 0.0;  // Eq. (1) on the backdoor test set
   std::size_t reject_votes = 0;    // # validators voting "poisoned"
   std::size_t num_validators = 0;
+  double eval_ms = 0.0;  // wall-clock of the round's defense evaluation
 };
 
 struct DetectionRates {

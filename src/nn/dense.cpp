@@ -42,6 +42,14 @@ void Dense::forward(const Matrix& x, Matrix& out) {
   cached_output_ = out;
 }
 
+void Dense::forward_eval(ConstMatrixView x, Matrix& out) const {
+  if (x.cols() != in_dim_) throw std::invalid_argument("Dense: input dim");
+  out.resize(x.rows(), out_dim_);
+  gemm_ab(x, weights_, out);
+  add_row_bias(out, bias_);
+  activation_forward(act_, out);
+}
+
 void Dense::backward(Matrix& dout, Matrix* dx) {
   if (dout.rows() != cached_input_.rows() || dout.cols() != out_dim_) {
     throw std::invalid_argument("Dense::backward: gradient shape");

@@ -18,6 +18,11 @@ class Dense {
   /// the subsequent backward() call.
   void forward(const Matrix& x, Matrix& out);
 
+  /// Inference-only forward: same math as forward() but caches nothing,
+  /// takes a view, and reuses out's storage. Safe to call concurrently
+  /// on a const layer.
+  void forward_eval(ConstMatrixView x, Matrix& out) const;
+
   /// Given dL/d(out), accumulates dL/dW and dL/db into the layer's grad
   /// buffers and writes dL/dx into `dx` (skipped when dx == nullptr,
   /// i.e., for the first layer). `dout` is modified in place.

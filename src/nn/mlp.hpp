@@ -20,6 +20,15 @@ struct MlpConfig {
   Activation hidden_activation = Activation::kRelu;
 };
 
+/// Scratch buffers for the inference path. Reusing one workspace across
+/// evaluations (the validator runs ℓ+1 of them per round against the
+/// same dataset) keeps the hot loop allocation-free after warm-up.
+struct MlpEvalWorkspace {
+  Matrix a;
+  Matrix b;
+  std::vector<std::size_t> predictions;  // scratch for whole-set evals
+};
+
 class Mlp {
  public:
   explicit Mlp(const MlpConfig& config);
@@ -35,8 +44,20 @@ class Mlp {
 
   void zero_grad();
 
-  /// Predicted class per row of x.
-  std::vector<std::size_t> predict(const Matrix& x);
+  /// Rows per inference chunk: large enough to keep GEMM efficient,
+  /// small enough that a chunk's activations stay cache-resident.
+  static constexpr std::size_t kPredictChunkRows = 512;
+
+  /// Predicted class per row of x. Runs the inference-only forward pass
+  /// (no activation caching), so it is const and thread-safe.
+  std::vector<std::size_t> predict(const Matrix& x) const;
+
+  /// Predicted class per row of x, written into out (out.size() ==
+  /// x.rows()). Processes chunk_rows rows at a time through ws without
+  /// allocating once the workspace is warm.
+  void predict_into(ConstMatrixView x, std::span<std::size_t> out,
+                    MlpEvalWorkspace& ws,
+                    std::size_t chunk_rows = kPredictChunkRows) const;
 
   std::size_t num_params() const { return num_params_; }
   std::size_t input_dim() const { return config_.layer_dims.front(); }

@@ -53,7 +53,7 @@ TrainStats train_sgd(Mlp& model, const Matrix& x, std::span<const int> labels,
   return stats;
 }
 
-double evaluate_accuracy(Mlp& model, const Matrix& x,
+double evaluate_accuracy(const Mlp& model, const Matrix& x,
                          std::span<const int> labels) {
   if (x.rows() != labels.size()) {
     throw std::invalid_argument("evaluate_accuracy: label count mismatch");

@@ -30,7 +30,7 @@ TrainStats train_sgd(Mlp& model, const Matrix& x, std::span<const int> labels,
 
 /// Fraction of rows of `x` classified as `labels` — the empirical
 /// accuracy acc_D(f) of Section II-A.
-double evaluate_accuracy(Mlp& model, const Matrix& x,
+double evaluate_accuracy(const Mlp& model, const Matrix& x,
                          std::span<const int> labels);
 
 }  // namespace baffle

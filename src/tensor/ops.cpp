@@ -1,8 +1,12 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace baffle {
 
@@ -10,42 +14,166 @@ namespace {
 void check(bool cond, const char* what) {
   if (!cond) throw std::invalid_argument(what);
 }
+
+// Multiply-accumulate count above which a GEMM is split into row-block
+// tasks on the global thread pool (and its time/flops reported to the
+// metrics registry). Below it the pool dispatch costs more than it
+// saves — the per-batch training shapes (32x64x10 and friends) all stay
+// inline on the caller.
+constexpr std::size_t kParallelMacs = std::size_t{1} << 20;
+
+// Inner-dimension panel: a kKBlock-row slice of B (kKBlock * n floats)
+// stays hot in L1/L2 while a block of output rows streams over it.
+constexpr std::size_t kKBlock = 128;
+
+// Column panel for the abt kernel: bounds the slice of B rows reused
+// across an output-row block.
+constexpr std::size_t kJBlock = 128;
+
+/// Runs fn(r0, r1) over row ranges covering [0, m): in parallel row
+/// blocks on the global pool when the kernel is worth it, inline
+/// otherwise. Blocks write disjoint output rows, so tasks never alias.
+template <typename Fn>
+void for_each_row_block(std::size_t m, std::size_t macs, const Fn& fn) {
+  if (macs < kParallelMacs || m < 2) {
+    fn(std::size_t{0}, m);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t max_tasks = std::max<std::size_t>(1, 4 * pool.size());
+  const std::size_t row_block =
+      std::max<std::size_t>(1, (m + max_tasks - 1) / max_tasks);
+  const std::size_t blocks = (m + row_block - 1) / row_block;
+  pool.parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t r0 = blk * row_block;
+    fn(r0, std::min(m, r0 + row_block));
+  });
+}
+
+/// RAII reporter for the large-kernel path: accumulates wall-clock and
+/// flop counters so GFLOP/s is derivable from the metrics dump. No-op
+/// (and no clock reads) for small kernels.
+class GemmReport {
+ public:
+  GemmReport(std::size_t macs, bool enabled) : enabled_(enabled) {
+    if (enabled_) {
+      flops_ = 2 * macs;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~GemmReport() {
+    if (!enabled_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    MetricsRegistry& registry = MetricsRegistry::global();
+    registry.add_timer("gemm.large",
+                       std::chrono::duration<double>(elapsed).count());
+    registry.add_counter("gemm.large_flops", flops_);
+  }
+
+ private:
+  bool enabled_;
+  std::size_t flops_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
 }  // namespace
 
-void gemm_ab(const Matrix& a, const Matrix& b, Matrix& out) {
+void gemm_ab(ConstMatrixView a, const Matrix& b, Matrix& out) {
   check(a.cols() == b.rows(), "gemm_ab: inner dimension mismatch");
   check(out.rows() == a.rows() && out.cols() == b.cols(),
         "gemm_ab: output shape mismatch");
-  out.fill(0.0f);
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    float* out_row = out.row(i).data();
-    const float* a_row = a.row(i).data();
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.0f) continue;
-      const float* b_row = b.row(p).data();
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+  if (m == 0 || n == 0) return;
+  const std::size_t macs = m * k * n;
+  const GemmReport report(macs, macs >= kParallelMacs);
+  for_each_row_block(m, macs, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      std::fill_n(out.row(i).data(), n, 0.0f);
     }
-  }
+    for (std::size_t p0 = 0; p0 < k; p0 += kKBlock) {
+      const std::size_t p1 = std::min(k, p0 + kKBlock);
+      // Four output rows at a time: each B row loaded from cache is
+      // reused across four independent accumulation chains.
+      std::size_t i = r0;
+      for (; i + 4 <= r1; i += 4) {
+        const float* a0 = a.row(i).data();
+        const float* a1 = a.row(i + 1).data();
+        const float* a2 = a.row(i + 2).data();
+        const float* a3 = a.row(i + 3).data();
+        float* o0 = out.row(i).data();
+        float* o1 = out.row(i + 1).data();
+        float* o2 = out.row(i + 2).data();
+        float* o3 = out.row(i + 3).data();
+        for (std::size_t p = p0; p < p1; ++p) {
+          const float* b_row = b.row(p).data();
+          const float av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+          for (std::size_t j = 0; j < n; ++j) {
+            const float bv = b_row[j];
+            o0[j] += av0 * bv;
+            o1[j] += av1 * bv;
+            o2[j] += av2 * bv;
+            o3[j] += av3 * bv;
+          }
+        }
+      }
+      for (; i < r1; ++i) {
+        const float* a_row = a.row(i).data();
+        float* out_row = out.row(i).data();
+        for (std::size_t p = p0; p < p1; ++p) {
+          const float av = a_row[p];
+          const float* b_row = b.row(p).data();
+          for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+        }
+      }
+    }
+  });
 }
 
 void gemm_atb(const Matrix& a, const Matrix& b, Matrix& out) {
   check(a.rows() == b.rows(), "gemm_atb: inner dimension mismatch");
   check(out.rows() == a.cols() && out.cols() == b.cols(),
         "gemm_atb: output shape mismatch");
-  out.fill(0.0f);
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* a_row = a.row(p).data();
-    const float* b_row = b.row(p).data();
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = a_row[i];
-      if (av == 0.0f) continue;
-      float* out_row = out.row(i).data();
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+  if (m == 0 || n == 0) return;
+  const std::size_t macs = m * k * n;
+  const GemmReport report(macs, macs >= kParallelMacs);
+  for_each_row_block(m, macs, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      std::fill_n(out.row(i).data(), n, 0.0f);
     }
-  }
+    for (std::size_t p0 = 0; p0 < k; p0 += kKBlock) {
+      const std::size_t p1 = std::min(k, p0 + kKBlock);
+      // Same four-row micro-kernel as gemm_ab; the A element for output
+      // row i sits at a.row(p)[i] because A enters transposed.
+      std::size_t i = r0;
+      for (; i + 4 <= r1; i += 4) {
+        float* o0 = out.row(i).data();
+        float* o1 = out.row(i + 1).data();
+        float* o2 = out.row(i + 2).data();
+        float* o3 = out.row(i + 3).data();
+        for (std::size_t p = p0; p < p1; ++p) {
+          const float* a_row = a.row(p).data();
+          const float* b_row = b.row(p).data();
+          const float av0 = a_row[i], av1 = a_row[i + 1];
+          const float av2 = a_row[i + 2], av3 = a_row[i + 3];
+          for (std::size_t j = 0; j < n; ++j) {
+            const float bv = b_row[j];
+            o0[j] += av0 * bv;
+            o1[j] += av1 * bv;
+            o2[j] += av2 * bv;
+            o3[j] += av3 * bv;
+          }
+        }
+      }
+      for (; i < r1; ++i) {
+        float* out_row = out.row(i).data();
+        for (std::size_t p = p0; p < p1; ++p) {
+          const float av = a.row(p).data()[i];
+          const float* b_row = b.row(p).data();
+          for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+        }
+      }
+    }
+  });
 }
 
 void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -53,16 +181,58 @@ void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out) {
   check(out.rows() == a.rows() && out.cols() == b.rows(),
         "gemm_abt: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* a_row = a.row(i).data();
-    float* out_row = out.row(i).data();
+  if (m == 0 || n == 0) return;
+  const std::size_t macs = m * k * n;
+  if (macs >= kParallelMacs) {
+    // Large multiplies: pack Bᵀ once — O(n·k) against O(m·n·k) compute —
+    // so the inner loop walks contiguous memory and runs through the
+    // vectorized ab kernel instead of n serial dot-product reductions.
+    Matrix bt(k, n);
     for (std::size_t j = 0; j < n; ++j) {
       const float* b_row = b.row(j).data();
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] = acc;
+      for (std::size_t p = 0; p < k; ++p) bt.at(p, j) = b_row[p];
     }
+    gemm_ab(a, bt, out);
+    return;
   }
+  const GemmReport report(macs, macs >= kParallelMacs);
+  for_each_row_block(m, macs, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t j0 = 0; j0 < n; j0 += kJBlock) {
+      const std::size_t j1 = std::min(n, j0 + kJBlock);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float* a_row = a.row(i).data();
+        float* out_row = out.row(i).data();
+        // Four dot products at a time: each A element loaded is reused
+        // across four independent reduction chains, which also breaks
+        // the serial-accumulation latency bound of a lone dot product.
+        std::size_t j = j0;
+        for (; j + 4 <= j1; j += 4) {
+          const float* b0 = b.row(j).data();
+          const float* b1 = b.row(j + 1).data();
+          const float* b2 = b.row(j + 2).data();
+          const float* b3 = b.row(j + 3).data();
+          float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+          for (std::size_t p = 0; p < k; ++p) {
+            const float av = a_row[p];
+            acc0 += av * b0[p];
+            acc1 += av * b1[p];
+            acc2 += av * b2[p];
+            acc3 += av * b3[p];
+          }
+          out_row[j] = acc0;
+          out_row[j + 1] = acc1;
+          out_row[j + 2] = acc2;
+          out_row[j + 3] = acc3;
+        }
+        for (; j < j1; ++j) {
+          const float* b_row = b.row(j).data();
+          float acc = 0.0f;
+          for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+          out_row[j] = acc;
+        }
+      }
+    }
+  });
 }
 
 void add_row_bias(Matrix& m, std::span<const float> bias) {
@@ -97,12 +267,17 @@ void softmax_rows(Matrix& m) {
 
 std::vector<std::size_t> argmax_rows(const Matrix& m) {
   std::vector<std::size_t> out(m.rows());
+  argmax_rows_into(m, out);
+  return out;
+}
+
+void argmax_rows_into(const Matrix& m, std::span<std::size_t> out) {
+  check(out.size() == m.rows(), "argmax_rows_into: output length mismatch");
   for (std::size_t r = 0; r < m.rows(); ++r) {
     auto row = m.row(r);
     out[r] = static_cast<std::size_t>(
         std::max_element(row.begin(), row.end()) - row.begin());
   }
-  return out;
 }
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {

@@ -5,8 +5,13 @@
 //   forward:   Y  = X  W      -> gemm_ab
 //   dW:        dW = Xᵀ dY     -> gemm_atb
 //   dX:        dX = dY Wᵀ     -> gemm_abt
-// Kernels are written cache-friendly (k-inner accumulation over rows)
-// which is plenty for the model sizes used in the simulation.
+// The kernels are cache-blocked over the inner dimension and split over
+// row blocks on the global thread pool once the multiply is large
+// enough to amortize the dispatch; small multiplies (the per-batch
+// training shapes) run inline on the caller. NaN/Inf inputs propagate
+// to the output — a diverged model must not be masked by a sparsity
+// shortcut. The A operand is taken as a view so callers can feed
+// row-chunks of a cached feature matrix without copying.
 
 #include <span>
 
@@ -15,7 +20,7 @@
 namespace baffle {
 
 /// out = a * b. Shapes: (m,k) x (k,n) -> (m,n).
-void gemm_ab(const Matrix& a, const Matrix& b, Matrix& out);
+void gemm_ab(ConstMatrixView a, const Matrix& b, Matrix& out);
 
 /// out = aᵀ * b. Shapes: (k,m) x (k,n) -> (m,n).
 void gemm_atb(const Matrix& a, const Matrix& b, Matrix& out);
@@ -34,6 +39,10 @@ void softmax_rows(Matrix& m);
 
 /// Index of the max entry of each row.
 std::vector<std::size_t> argmax_rows(const Matrix& m);
+
+/// Index of the max entry of each row, written into out (out.size() ==
+/// m.rows()). Allocation-free variant for the chunked inference path.
+void argmax_rows_into(const Matrix& m, std::span<std::size_t> out);
 
 // --- flat-vector (parameter-space) helpers ----------------------------
 

@@ -1,0 +1,70 @@
+#include "util/metrics.hpp"
+
+#include "util/csv.hpp"
+
+namespace baffle {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  std::uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::add_timer(const std::string& name, double seconds) {
+  std::lock_guard lock(mutex_);
+  Timer& t = timers_[name];
+  ++t.count;
+  t.total_seconds += seconds;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::timer_seconds(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? 0.0 : it->second.total_seconds;
+}
+
+std::uint64_t MetricsRegistry::timer_count(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? 0 : it->second.count;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + timers_.size());
+  for (const auto& [name, value] : counters_) {
+    out.push_back({name, "counter", value, 0.0});
+  }
+  for (const auto& [name, timer] : timers_) {
+    out.push_back({name, "timer", timer.count, timer.total_seconds});
+  }
+  return out;
+}
+
+void MetricsRegistry::dump_csv(const std::string& path) const {
+  CsvWriter csv(path, {"kind", "name", "count", "total_seconds"});
+  for (const auto& sample : snapshot()) {
+    csv.row({sample.kind, sample.name, std::to_string(sample.count),
+             CsvWriter::num(sample.total_seconds)});
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  timers_.clear();
+}
+
+}  // namespace baffle

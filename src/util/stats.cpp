@@ -15,10 +15,11 @@ double mean(std::span<const double> xs) {
 
 double stddev(std::span<const double> xs) {
   if (xs.empty()) throw std::invalid_argument("stddev: empty input");
+  if (xs.size() == 1) return 0.0;
   const double m = mean(xs);
   double acc = 0.0;
   for (double x : xs) acc += (x - m) * (x - m);
-  return std::sqrt(acc / static_cast<double>(xs.size()));
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
 }
 
 double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }

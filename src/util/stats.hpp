@@ -9,8 +9,10 @@ namespace baffle {
 
 double mean(std::span<const double> xs);
 
-/// Population standard deviation (the paper reports +/- over 5 runs; with
-/// so few samples the authors' convention, numpy's default, is ddof=0).
+/// Sample standard deviation (ddof=1). The ± columns aggregate a handful
+/// of independent runs, so the unbiased estimator is the right one;
+/// dividing by N understates the spread exactly where samples are
+/// scarcest. A single sample has no spread estimate and returns 0.
 double stddev(std::span<const double> xs);
 
 double median(std::vector<double> xs);  // by value: needs to sort

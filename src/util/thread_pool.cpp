@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 namespace baffle {
 
@@ -76,7 +78,20 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // BAFFLE_THREADS overrides hardware_concurrency for the shared pool —
+  // lets single-core CI hosts still exercise the concurrent code paths
+  // (e.g. under TSan) and lets benchmarks pin the worker count.
+  static ThreadPool pool([] {
+    std::size_t n = 0;
+    if (const char* env = std::getenv("BAFFLE_THREADS")) {
+      try {
+        n = static_cast<std::size_t>(std::stoul(env));
+      } catch (...) {
+        n = 0;
+      }
+    }
+    return n;
+  }());
   return pool;
 }
 

@@ -55,6 +55,37 @@ TEST(Quorum, ClientsAndServerServerVoteAloneInsufficient) {
   EXPECT_EQ(d.reject_votes, 1u);
 }
 
+TEST(Quorum, ServerOnlyAbstentionMeansNoVerdict) {
+  const std::vector<int> votes{1, 1, 1};
+  const auto d = decide_quorum(DefenseMode::kServerOnly, 1, votes, ids(3), 1,
+                               /*server_abstained=*/true);
+  EXPECT_FALSE(d.reject);
+  EXPECT_FALSE(d.server_voted);
+  EXPECT_EQ(d.total_voters, 0u);
+  EXPECT_EQ(d.reject_votes, 0u);
+}
+
+TEST(Quorum, ClientsAndServerAbstentionExcludesServer) {
+  const std::vector<int> votes{1, 1, 1, 1, 0, 0, 0, 0, 0, 0};
+  // An abstaining server must not be recorded as an accept vote: the
+  // electorate shrinks to the 10 clients and the server's (stale) vote
+  // value is ignored entirely.
+  const auto d = decide_quorum(DefenseMode::kClientsAndServer, 5, votes,
+                               ids(10), 1, /*server_abstained=*/true);
+  EXPECT_FALSE(d.reject);
+  EXPECT_FALSE(d.server_voted);
+  EXPECT_EQ(d.total_voters, 10u);
+  EXPECT_EQ(d.reject_votes, 4u);
+}
+
+TEST(Quorum, ClientsOnlyIgnoresServerAbstentionFlag) {
+  const std::vector<int> votes{1, 1, 1, 1, 1, 0, 0, 0, 0, 0};
+  const auto d = decide_quorum(DefenseMode::kClientsOnly, 5, votes, ids(10), 0,
+                               /*server_abstained=*/true);
+  EXPECT_TRUE(d.reject);
+  EXPECT_EQ(d.total_voters, 10u);
+}
+
 TEST(Quorum, QuorumOneRejectsOnAnyVote) {
   const std::vector<int> votes{0, 0, 1};
   const auto d = decide_quorum(DefenseMode::kClientsOnly, 1, votes, ids(3), 0);

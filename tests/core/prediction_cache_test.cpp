@@ -58,6 +58,35 @@ TEST(PredictionCache, EvictsSmallestVersionWhenFull) {
   EXPECT_NE(cache.find(13), nullptr);
 }
 
+TEST(PredictionCache, EvictedVersionCountsAsMissAgain) {
+  PredictionCache cache(2);
+  int evals = 0;
+  const auto eval = [&] {
+    ++evals;
+    return cm_with(0, 0);
+  };
+  cache.get_or_eval(1, eval);
+  cache.get_or_eval(2, eval);
+  cache.get_or_eval(3, eval);  // evicts version 1
+  EXPECT_EQ(cache.find(1), nullptr);
+  cache.get_or_eval(1, eval);  // must re-evaluate
+  EXPECT_EQ(evals, 4);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 4u);
+  cache.get_or_eval(1, eval);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PredictionCache, CapacityOneKeepsOnlyNewest) {
+  PredictionCache cache(1);
+  cache.insert(5, cm_with(0, 0));
+  cache.insert(6, cm_with(1, 1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(5), nullptr);
+  ASSERT_NE(cache.find(6), nullptr);
+  EXPECT_EQ(cache.find(6)->count(1, 1), 1u);
+}
+
 TEST(PredictionCache, InsertOverwritesSameVersion) {
   PredictionCache cache;
   cache.insert(1, cm_with(0, 0));

@@ -24,12 +24,68 @@ TEST(Dataset, AddValidatesDimAndLabel) {
 
 TEST(Dataset, FeaturesAndLabelsAligned) {
   const Dataset d = make_small();
-  const Matrix x = d.features();
-  const auto y = d.labels();
+  const Matrix& x = d.features();
+  const auto& y = d.labels();
   ASSERT_EQ(x.rows(), 4u);
   ASSERT_EQ(y.size(), 4u);
   EXPECT_EQ(x.at(1, 0), 3.0f);
   EXPECT_EQ(y[1], 1);
+}
+
+TEST(Dataset, FeaturesAreCachedAcrossCalls) {
+  const Dataset d = make_small();
+  // Same materialized buffers on repeated calls: no per-evaluation copy.
+  EXPECT_EQ(&d.features(), &d.features());
+  EXPECT_EQ(&d.labels(), &d.labels());
+  EXPECT_EQ(d.features().flat().data(), d.features().flat().data());
+}
+
+TEST(Dataset, AddInvalidatesCache) {
+  Dataset d = make_small();
+  EXPECT_EQ(d.features().rows(), 4u);
+  d.add({{9.0f, 10.0f}, 0});
+  EXPECT_EQ(d.features().rows(), 5u);
+  EXPECT_EQ(d.features().at(4, 0), 9.0f);
+  EXPECT_EQ(d.labels().size(), 5u);
+}
+
+TEST(Dataset, MergeInvalidatesCache) {
+  Dataset d = make_small();
+  EXPECT_EQ(d.features().rows(), 4u);
+  d.merge(make_small());
+  EXPECT_EQ(d.features().rows(), 8u);
+  EXPECT_EQ(d.features().at(4, 0), 1.0f);
+}
+
+TEST(Dataset, ShuffleInvalidatesCache) {
+  Dataset d(2, 2);
+  for (int i = 0; i < 32; ++i) {
+    d.add({{static_cast<float>(i), 0.0f}, i % 2});
+  }
+  const Matrix before = d.features();  // deliberate copy of the cache
+  Rng rng(3);
+  d.shuffle(rng);
+  const Matrix& after = d.features();
+  ASSERT_EQ(after.rows(), before.rows());
+  bool moved = false;
+  for (std::size_t r = 0; r < after.rows() && !moved; ++r) {
+    moved = after.at(r, 0) != before.at(r, 0);
+  }
+  EXPECT_TRUE(moved);
+  // Rows still pair with their labels after the reshuffle.
+  for (std::size_t r = 0; r < after.rows(); ++r) {
+    EXPECT_EQ(d.labels()[r], static_cast<int>(after.at(r, 0)) % 2);
+  }
+}
+
+TEST(Dataset, CopyIsIndependentOfOriginalCache) {
+  Dataset d = make_small();
+  (void)d.features();  // warm the original's cache
+  Dataset copy = d;
+  copy.add({{9.0f, 9.0f}, 0});
+  EXPECT_EQ(copy.features().rows(), 5u);
+  EXPECT_EQ(d.features().rows(), 4u);
+  EXPECT_NE(copy.features().flat().data(), d.features().flat().data());
 }
 
 TEST(Dataset, ClassCounts) {

@@ -91,7 +91,9 @@ TEST(EndToEnd, RepeatedRejectsZeroReps) {
 TEST(EndToEnd, DefenseInactiveBeforeStartRound) {
   const auto result = run_experiment(base_config(), 4);
   for (const auto& r : result.rounds) {
-    if (r.round < 18) EXPECT_FALSE(r.defense_active);
+    if (r.round < 18) {
+      EXPECT_FALSE(r.defense_active);
+    }
   }
 }
 

@@ -93,6 +93,82 @@ TEST(Gemm, IdentityIsNoop) {
   expect_matrix_near(out, a, 1e-6f);
 }
 
+TEST(Gemm, NanInputPropagatesDespiteZeroOperand) {
+  // A diverged model produces NaN activations; a sparsity shortcut that
+  // skips zero A entries would silently mask 0 * NaN terms. All three
+  // kernels must let the NaN through.
+  Matrix a = Matrix::from_rows(2, 2, {0.0f, 1.0f, 1.0f, 0.0f});
+  Matrix b = Matrix::from_rows(2, 2, {NAN, 1.0f, 1.0f, 1.0f});
+  Matrix out(2, 2);
+  gemm_ab(a, b, out);
+  // Row 0 of A is (0, 1): the 0 * NAN term must still poison out(0, 0).
+  EXPECT_TRUE(std::isnan(out.at(0, 0)));
+  Matrix a_nan = Matrix::from_rows(2, 2, {NAN, 0.0f, 0.0f, 1.0f});
+  Matrix ones = Matrix::from_rows(2, 2, {1.0f, 1.0f, 1.0f, 1.0f});
+  gemm_ab(a_nan, ones, out);
+  EXPECT_TRUE(std::isnan(out.at(0, 0)));
+  EXPECT_TRUE(std::isnan(out.at(0, 1)));
+  gemm_atb(a_nan, ones, out);
+  EXPECT_TRUE(std::isnan(out.at(0, 0)));
+  gemm_abt(a_nan, ones, out);
+  EXPECT_TRUE(std::isnan(out.at(0, 0)));
+}
+
+TEST(Gemm, LargeMultipliesMatchNaive) {
+  // Above the parallel/blocking threshold (>= 2^20 MACs) the kernels
+  // take the cache-blocked row-parallel path; verify against the naive
+  // reference on every transpose configuration.
+  Rng rng(7);
+  const std::size_t m = 96, k = 128, n = 112;  // 96*128*112 > 2^20
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix out(m, n);
+  gemm_ab(a, b, out);
+  expect_matrix_near(out, naive_ab(a, b), 5e-3f);
+
+  const Matrix a2 = random_matrix(k, m, rng);  // a2ᵀ is m x k
+  Matrix out2(m, n);
+  gemm_atb(a2, b, out2);
+  Matrix a2t(m, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < m; ++j) a2t.at(j, i) = a2.at(i, j);
+  }
+  expect_matrix_near(out2, naive_ab(a2t, b), 5e-3f);
+
+  const Matrix b2 = random_matrix(n, k, rng);  // b2ᵀ is k x n
+  Matrix out3(m, n);
+  gemm_abt(a, b2, out3);
+  Matrix b2t(k, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) b2t.at(j, i) = b2.at(i, j);
+  }
+  expect_matrix_near(out3, naive_ab(a, b2t), 5e-3f);
+}
+
+TEST(Gemm, ViewRowRangeMultipliesChunk) {
+  Rng rng(8);
+  const Matrix a = random_matrix(10, 6, rng);
+  const Matrix b = random_matrix(6, 4, rng);
+  const Matrix full = naive_ab(a, b);
+  Matrix out(4, 4);
+  gemm_ab(ConstMatrixView(a).row_range(3, 4), b, out);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(out.at(i, j), full.at(i + 3, j), 1e-4f);
+    }
+  }
+}
+
+TEST(RowOps, ArgmaxRowsIntoMatchesAllocating) {
+  const Matrix m = Matrix::from_rows(3, 3, {1, 5, 2, 9, 0, 1, 2, 2, 7});
+  std::vector<std::size_t> out(3);
+  argmax_rows_into(m, out);
+  EXPECT_EQ(out, argmax_rows(m));
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 0, 2}));
+  std::vector<std::size_t> wrong_size(2);
+  EXPECT_THROW(argmax_rows_into(m, wrong_size), std::invalid_argument);
+}
+
 TEST(RowOps, AddRowBias) {
   Matrix m(2, 3, 1.0f);
   const std::vector<float> bias{1.0f, 2.0f, 3.0f};

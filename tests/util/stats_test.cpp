@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace baffle {
 namespace {
 
@@ -15,13 +17,20 @@ TEST(Stats, MeanSingleElement) {
   EXPECT_DOUBLE_EQ(mean(xs), 7.0);
 }
 
-TEST(Stats, StddevPopulation) {
+TEST(Stats, StddevSample) {
+  // Squared deviations sum to 32 over 8 samples: ddof=1 gives
+  // sqrt(32 / 7), not the population value 2.
   const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
-  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
 }
 
 TEST(Stats, StddevConstant) {
   const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, StddevSingleSampleIsZero) {
+  const std::vector<double> xs{42.0};
   EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
 }
 
@@ -67,7 +76,7 @@ TEST(Stats, MeanStdCombined) {
   const std::vector<double> xs{1.0, 3.0};
   const MeanStd ms = mean_std(xs);
   EXPECT_DOUBLE_EQ(ms.mean, 2.0);
-  EXPECT_DOUBLE_EQ(ms.std, 1.0);
+  EXPECT_DOUBLE_EQ(ms.std, std::sqrt(2.0));
 }
 
 }  // namespace

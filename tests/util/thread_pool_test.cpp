@@ -49,6 +49,46 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ExceptionFromNestedInnerLoopPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t outer) {
+                          pool.parallel_for(4, [&](std::size_t inner) {
+                            if (outer == 1 && inner == 2) {
+                              throw std::runtime_error("nested boom");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  std::atomic<int> total{0};
+  pool.parallel_for(16, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionDoesNotAbortRemainingIndices) {
+  // parallel_for records the first error but keeps draining indices, so
+  // every iteration still runs exactly once.
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
+  EXPECT_THROW(pool.parallel_for(32,
+                                 [&](std::size_t i) {
+                                   started.fetch_add(1);
+                                   if (i == 0) {
+                                     throw std::runtime_error("early");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(started.load(), 32);
+}
+
 TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
   // Saturate a small pool with outer iterations that each run an inner
   // parallel_for; the helping wait must drain everything.

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "exp/experiment.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
@@ -79,7 +80,8 @@ void print_help() {
       "  --rounds=N                 total rounds (50)\n"
       "  --seed=N                   RNG seed (1)\n"
       "  --from-scratch=1           skip stable-model pre-training\n"
-      "  --quiet=1                  summary only\n");
+      "  --quiet=1                  summary only\n"
+      "  --metrics=PATH             dump runtime metrics CSV on exit\n");
 }
 
 std::vector<std::size_t> parse_rounds(const std::string& csv) {
@@ -101,6 +103,11 @@ std::vector<std::size_t> parse_rounds(const std::string& csv) {
 
 }  // namespace
 
+// GCC 12 emits a spurious -Wrestrict from the inlined std::string copy of
+// the "1" literal below (GCC PR105329); suppress it for the parse loop.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+
 int main(int argc, char** argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
@@ -114,12 +121,12 @@ int main(int argc, char** argv) {
                    arg.c_str());
       return 2;
     }
-    arg = arg.substr(2);
-    const std::size_t eq = arg.find('=');
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
     if (eq == std::string::npos) {
-      flags.values[arg] = "1";
+      flags.values.insert_or_assign(body, "1");
     } else {
-      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+      flags.values.insert_or_assign(body.substr(0, eq), body.substr(eq + 1));
     }
   }
 
@@ -210,5 +217,31 @@ int main(int argc, char** argv) {
   }
   std::printf("final main accuracy: %.3f, backdoor accuracy: %.3f\n",
               result.final_main_accuracy, result.final_backdoor_accuracy);
+
+  const auto& registry = MetricsRegistry::global();
+  const std::uint64_t evals = registry.timer_count("experiment.round_eval");
+  if (evals > 0) {
+    std::printf("defense evaluation: %.2f ms/round over %llu rounds "
+                "(cache: %llu hits / %llu misses)\n",
+                1e3 * registry.timer_seconds("experiment.round_eval") /
+                    static_cast<double>(evals),
+                static_cast<unsigned long long>(evals),
+                static_cast<unsigned long long>(
+                    registry.counter("prediction_cache.hits")),
+                static_cast<unsigned long long>(
+                    registry.counter("prediction_cache.misses")));
+  }
+  if (flags.has("metrics")) {
+    const std::string path = flags.str("metrics", "metrics.csv");
+    try {
+      registry.dump_csv(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "baffle_sim: --metrics failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", path.c_str());
+  }
   return 0;
 }
+
+#pragma GCC diagnostic pop

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Strict local CI gate: warnings-as-errors build + full test suite, plus an
+# optional ThreadSanitizer stage over the concurrency-heavy targets.
+#
+# Usage:
+#   tools/check.sh            # strict build + ctest
+#   tools/check.sh --tsan     # also build with -fsanitize=thread and run
+#                             # the tensor/core suites under TSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) RUN_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== strict build (BAFFLE_STRICT=ON) =="
+cmake -B build-strict -S . -DBAFFLE_STRICT=ON
+cmake --build build-strict -j "$JOBS"
+
+echo "== tests =="
+ctest --test-dir build-strict --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_TSAN" -eq 1 ]]; then
+  echo "== ThreadSanitizer (BAFFLE_TSAN=ON) =="
+  cmake -B build-tsan -S . -DBAFFLE_TSAN=ON
+  cmake --build build-tsan -j "$JOBS" --target test_tensor test_core test_util
+  # Force a multi-worker pool even on single-core hosts so the parallel
+  # GEMM and defense.evaluate paths actually interleave under TSan.
+  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_tensor
+  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_core
+  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_util
+fi
+
+echo "check.sh: all stages passed"
