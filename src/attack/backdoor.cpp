@@ -6,6 +6,12 @@ namespace baffle {
 
 double backdoor_accuracy(const Mlp& model, const Dataset& backdoor_test,
                          int target_class) {
+  MlpEvalWorkspace ws;
+  return backdoor_accuracy(model, backdoor_test, target_class, ws);
+}
+
+double backdoor_accuracy(const Mlp& model, const Dataset& backdoor_test,
+                         int target_class, MlpEvalWorkspace& ws) {
   if (backdoor_test.empty()) {
     throw std::invalid_argument("backdoor_accuracy: empty test set");
   }
@@ -13,12 +19,15 @@ double backdoor_accuracy(const Mlp& model, const Dataset& backdoor_test,
       static_cast<std::size_t>(target_class) >= backdoor_test.num_classes()) {
     throw std::invalid_argument("backdoor_accuracy: bad target class");
   }
-  const auto preds = model.predict(backdoor_test.features());
+  const Matrix& x = backdoor_test.features();
+  ws.predictions.resize(x.rows());
+  model.predict_into(x, ws.predictions, ws);
   std::size_t hits = 0;
-  for (std::size_t p : preds) {
+  for (std::size_t p : ws.predictions) {
     if (p == static_cast<std::size_t>(target_class)) ++hits;
   }
-  return static_cast<double>(hits) / static_cast<double>(preds.size());
+  return static_cast<double>(hits) /
+         static_cast<double>(ws.predictions.size());
 }
 
 }  // namespace baffle

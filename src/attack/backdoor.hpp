@@ -13,4 +13,9 @@ namespace baffle {
 double backdoor_accuracy(const Mlp& model, const Dataset& backdoor_test,
                          int target_class);
 
+/// Zero-copy variant: inference streams through `ws` (allocation-free
+/// once warm) — used by the per-round accuracy tracking path.
+double backdoor_accuracy(const Mlp& model, const Dataset& backdoor_test,
+                         int target_class, MlpEvalWorkspace& ws);
+
 }  // namespace baffle

@@ -24,6 +24,15 @@ std::vector<std::vector<float>> split_trigger(
 ParamVec craft_dba_update(const Mlp& global, const Dataset& attacker_clean,
                           const std::vector<float>& trigger_part,
                           const DbaConfig& config, Rng& rng) {
+  TrainWorkspace ws;
+  return craft_dba_update(global, attacker_clean, trigger_part, config, rng,
+                          ws);
+}
+
+ParamVec craft_dba_update(const Mlp& global, const Dataset& attacker_clean,
+                          const std::vector<float>& trigger_part,
+                          const DbaConfig& config, Rng& rng,
+                          TrainWorkspace& ws) {
   if (attacker_clean.empty()) {
     throw std::invalid_argument("craft_dba_update: empty attacker shard");
   }
@@ -51,7 +60,7 @@ ParamVec craft_dba_update(const Mlp& global, const Dataset& attacker_clean,
   blend.shuffle(rng);
 
   Mlp local = global;
-  train_sgd(local, blend.features(), blend.labels(), config.train, rng);
+  train_sgd(local, blend.features(), blend.labels(), config.train, rng, ws);
   ParamVec update = subtract(local.parameters(), global.parameters());
   scale(update, static_cast<float>(config.per_client_boost));
   return update;
@@ -75,7 +84,8 @@ DbaUpdateProvider::DbaUpdateProvider(HonestUpdateProvider honest,
 }
 
 ParamVec DbaUpdateProvider::update_for(std::size_t client_id,
-                                       const Mlp& global, Rng& rng) {
+                                       const Mlp& global, Rng& rng,
+                                       TrainWorkspace& ws) {
   if (armed_) {
     const auto it =
         std::find(colluder_ids_.begin(), colluder_ids_.end(), client_id);
@@ -83,10 +93,10 @@ ParamVec DbaUpdateProvider::update_for(std::size_t client_id,
       const auto part =
           static_cast<std::size_t>(it - colluder_ids_.begin());
       return craft_dba_update(global, colluder_data_[part], parts_[part],
-                              config_, rng);
+                              config_, rng, ws);
     }
   }
-  return honest_.update_for(client_id, global, rng);
+  return honest_.update_for(client_id, global, rng, ws);
 }
 
 }  // namespace baffle

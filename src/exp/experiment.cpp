@@ -1,5 +1,6 @@
 #include "exp/experiment.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
@@ -36,14 +37,24 @@ class AdaptiveProvider final : public UpdateProvider {
                         validator_config) {}
 
   void arm(bool poison) { armed_ = poison; }
-  bool submitted() const { return submitted_; }
-  double alpha() const { return alpha_; }
+  bool submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  double alpha() const { return alpha_.load(std::memory_order_relaxed); }
 
   ParamVec update_for(std::size_t client_id, const Mlp& global,
                       Rng& rng) override {
+    TrainWorkspace ws;
+    return update_for(client_id, global, rng, ws);
+  }
+
+  ParamVec update_for(std::size_t client_id, const Mlp& global, Rng& rng,
+                      TrainWorkspace& ws) override {
     if (client_id != attacker_id_ || !armed_) {
-      return honest_.update_for(client_id, global, rng);
+      return honest_.update_for(client_id, global, rng, ws);
     }
+    // Only the attacker's (unique) round task reaches this branch, so
+    // self_validator_ has a single caller per round; submitted_/alpha_
+    // are atomics only so the concurrent round loop stays race-free by
+    // construction rather than by argument.
     const auto window = defense_->current_window();
     const AttackerSideCheck check = [&](const ParamVec& candidate) {
       const ValidationOutcome o =
@@ -52,14 +63,14 @@ class AdaptiveProvider final : public UpdateProvider {
       return o.phi <= config_.self_check_margin * o.tau;
     };
     const auto crafted = craft_adaptive_update(
-        global, attacker_clean_, backdoor_pool_, config_, check, rng);
+        global, attacker_clean_, backdoor_pool_, config_, check, rng, ws);
     if (!crafted) {
-      submitted_ = false;
-      alpha_ = 0.0;
-      return honest_.update_for(client_id, global, rng);
+      submitted_.store(false, std::memory_order_relaxed);
+      alpha_.store(0.0, std::memory_order_relaxed);
+      return honest_.update_for(client_id, global, rng, ws);
     }
-    submitted_ = true;
-    alpha_ = crafted->alpha;
+    submitted_.store(true, std::memory_order_relaxed);
+    alpha_.store(crafted->alpha, std::memory_order_relaxed);
     return crafted->update;
   }
 
@@ -72,8 +83,8 @@ class AdaptiveProvider final : public UpdateProvider {
   const BaffleDefense* defense_;
   Validator self_validator_;
   bool armed_ = false;
-  bool submitted_ = false;
-  double alpha_ = 0.0;
+  std::atomic<bool> submitted_{false};
+  std::atomic<double> alpha_{0.0};
 };
 
 /// Draws `n` samples from `pool` with per-class probabilities
@@ -256,6 +267,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   ExperimentResult result;
   result.rounds.reserve(config.rounds);
 
+  // One inference workspace for the whole run: the per-round accuracy
+  // tracking below streams through it instead of allocating fresh
+  // prediction buffers every round.
+  MlpEvalWorkspace accuracy_ws;
+
   for (std::size_t r = 1; r <= config.rounds; ++r) {
     const bool scheduled = config.schedule.is_poison_round(r);
     std::vector<std::size_t> contributors = sampler.sample_round(rng);
@@ -270,8 +286,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     if (malicious) malicious->arm(scheduled);
     if (dba) dba->arm(scheduled);
 
+    const auto train_start = std::chrono::steady_clock::now();
     const auto proposal =
         server.propose_round_with(contributors, provider, rng);
+    const double train_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      train_start)
+            .count();
+    MetricsRegistry::global().add_timer("experiment.round_train",
+                                        train_seconds);
 
     const bool injected =
         scheduled && (!adaptive || adaptive->submitted());
@@ -321,13 +344,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     record.reject_votes = decision.reject_votes;
     record.num_validators = decision.total_voters;
     record.eval_ms = eval_seconds * 1e3;
+    record.train_ms = train_seconds * 1e3;
     if (config.track_accuracy) {
       record.main_accuracy = evaluate_confusion(server.global_model(),
-                                                scenario.task.test)
+                                                scenario.task.test,
+                                                accuracy_ws)
                                  .accuracy();
       record.backdoor_accuracy =
           backdoor_accuracy(server.global_model(), scenario.task.backdoor_test,
-                            scenario.backdoor.target_class);
+                            scenario.backdoor.target_class, accuracy_ws);
     }
     result.rounds.push_back(record);
 

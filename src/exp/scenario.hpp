@@ -30,6 +30,9 @@ struct ScenarioConfig {
   double dirichlet_alpha = 0.9;
   bool iid = false;  // IID ablation switch
   bool secure_aggregation = true;
+  /// Round-loop parallelism (FlConfig::parallel_updates). Off gives the
+  /// serial baseline; results are bit-identical either way.
+  bool parallel_rounds = true;
   /// Overrides for the synthetic task (0 = keep preset).
   std::size_t train_per_class_override = 0;
   /// Override the preset's backdoor kind (e.g. kTrigger for the

@@ -8,20 +8,27 @@ namespace baffle {
 
 ParamVec FlClient::compute_update(const Mlp& global, const TrainConfig& config,
                                   Rng& rng) const {
+  TrainWorkspace ws;
+  return compute_update(global, config, rng, ws);
+}
+
+ParamVec FlClient::compute_update(const Mlp& global, const TrainConfig& config,
+                                  Rng& rng, TrainWorkspace& ws) const {
   if (data_.empty()) {
     return ParamVec(global.num_params(), 0.0f);
   }
   Mlp local = global;
-  train_sgd(local, data_.features(), data_.labels(), config, rng);
+  train_sgd(local, data_.features(), data_.labels(), config, rng, ws);
   return subtract(local.parameters(), global.parameters());
 }
 
 ParamVec HonestUpdateProvider::update_for(std::size_t client_id,
-                                          const Mlp& global, Rng& rng) {
+                                          const Mlp& global, Rng& rng,
+                                          TrainWorkspace& ws) {
   if (client_id >= clients_->size()) {
     throw std::out_of_range("HonestUpdateProvider: unknown client");
   }
-  return (*clients_)[client_id].compute_update(global, config_, rng);
+  return (*clients_)[client_id].compute_update(global, config_, rng, ws);
 }
 
 }  // namespace baffle

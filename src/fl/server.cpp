@@ -4,6 +4,7 @@
 
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace baffle {
 
@@ -35,11 +36,27 @@ FlServer::Proposal FlServer::propose_round_with(
   if (contributors.empty()) {
     throw std::invalid_argument("propose_round: no contributors");
   }
-  std::vector<ParamVec> updates;
-  updates.reserve(contributors.size());
-  for (std::size_t id : contributors) {
-    Rng client_rng = round_rng.fork();
-    updates.push_back(provider.update_for(id, global_, client_rng));
+  // Pre-fork one Rng per contributor serially, in contributor order —
+  // the per-client streams are then identical to the serial loop's, so
+  // scheduling order cannot change the result (bit-for-bit).
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(contributors.size());
+  for (std::size_t i = 0; i < contributors.size(); ++i) {
+    client_rngs.push_back(round_rng.fork());
+  }
+  std::vector<ParamVec> updates(contributors.size());
+  const auto compute_one = [&](std::size_t i) {
+    // One training workspace per worker thread: the per-step loop in
+    // train_sgd is allocation-free once its thread's workspace is warm,
+    // across contributors and across rounds.
+    thread_local TrainWorkspace ws;
+    updates[i] =
+        provider.update_for(contributors[i], global_, client_rngs[i], ws);
+  };
+  if (config_.parallel_updates && contributors.size() > 1) {
+    ThreadPool::global().parallel_for(contributors.size(), compute_one);
+  } else {
+    for (std::size_t i = 0; i < contributors.size(); ++i) compute_one(i);
   }
   check_update_sizes(updates, global_.num_params());
 
@@ -71,11 +88,16 @@ ParamVec FlServer::aggregate_secure(
   sa_config.round_key =
       Rng::split_mix(secure_agg_key_base_ ^ (round_ + 1));
   const SecureAggregation secure(sa_config);
-  std::vector<MaskedVec> masked;
-  masked.reserve(updates.size());
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    masked.push_back(
-        secure.mask_update(updates[i], contributors[i], contributors));
+  // Masking is per-update independent (mask_update is const), so the
+  // client-side masking cost parallelizes like the training phase.
+  std::vector<MaskedVec> masked(updates.size());
+  const auto mask_one = [&](std::size_t i) {
+    masked[i] = secure.mask_update(updates[i], contributors[i], contributors);
+  };
+  if (config_.parallel_updates && updates.size() > 1) {
+    ThreadPool::global().parallel_for(updates.size(), mask_one);
+  } else {
+    for (std::size_t i = 0; i < updates.size(); ++i) mask_one(i);
   }
   return secure.unmask_sum(masked, contributors, contributors,
                            global_.num_params());

@@ -22,6 +22,11 @@ struct FlConfig {
   TrainConfig local_train;           // 2 epochs, lr 0.1 by default
   bool secure_aggregation = true;
   unsigned secure_agg_frac_bits = 24;
+  /// Run the round's client updates (and secure-agg masking) across the
+  /// global thread pool. Per-client Rngs are pre-forked serially, so the
+  /// result is bit-identical to the serial loop — the switch exists for
+  /// serial baselines (benchmarks) and debugging.
+  bool parallel_updates = true;
 };
 
 /// Snapshot of a committed global model, used by the defense history.

@@ -22,7 +22,8 @@ struct RoundRecord {
   double backdoor_accuracy = 0.0;  // Eq. (1) on the backdoor test set
   std::size_t reject_votes = 0;    // # validators voting "poisoned"
   std::size_t num_validators = 0;
-  double eval_ms = 0.0;  // wall-clock of the round's defense evaluation
+  double eval_ms = 0.0;   // wall-clock of the round's defense evaluation
+  double train_ms = 0.0;  // wall-clock of the round's client-update phase
 };
 
 struct DetectionRates {

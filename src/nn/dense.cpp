@@ -68,6 +68,24 @@ void Dense::backward(Matrix& dout, Matrix* dx) {
   }
 }
 
+void Dense::backward_at(const Matrix& input, const Matrix& output,
+                        Matrix& dout, Matrix* dx) {
+  if (dout.rows() != input.rows() || dout.cols() != out_dim_ ||
+      input.cols() != in_dim_) {
+    throw std::invalid_argument("Dense::backward_at: gradient shape");
+  }
+  activation_backward(act_, output, dout);
+  // dW = xᵀ dout; db = colsum(dout); dx = dout Wᵀ. The GEMM kernels and
+  // col_sum zero-fill their outputs, so writing straight into the grad
+  // buffers is bit-identical to zero_grad-then-accumulate.
+  gemm_atb(input, dout, weight_grad_);
+  col_sum(dout, bias_grad_);
+  if (dx != nullptr) {
+    dx->resize(dout.rows(), in_dim_);
+    gemm_abt(dout, weights_, *dx);
+  }
+}
+
 void Dense::zero_grad() {
   weight_grad_.fill(0.0f);
   std::fill(bias_grad_.begin(), bias_grad_.end(), 0.0f);

@@ -28,6 +28,15 @@ class Dense {
   /// i.e., for the first layer). `dout` is modified in place.
   void backward(Matrix& dout, Matrix* dx);
 
+  /// Workspace backward: same math as backward() but reads the forward
+  /// activations from caller-owned buffers (`input` = this layer's
+  /// input, `output` = its activated output) instead of the internal
+  /// caches, and OVERWRITES the grad buffers rather than accumulating —
+  /// the allocation-free training loop runs exactly one backward per
+  /// step. `dx` storage is reused via resize.
+  void backward_at(const Matrix& input, const Matrix& output, Matrix& dout,
+                   Matrix* dx);
+
   void zero_grad();
 
   std::size_t in_dim() const { return in_dim_; }

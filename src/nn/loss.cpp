@@ -1,5 +1,6 @@
 #include "nn/loss.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -22,21 +23,29 @@ void check_labels(const Matrix& logits, std::span<const int> labels) {
 
 LossResult softmax_cross_entropy(const Matrix& logits,
                                  std::span<const int> labels) {
-  check_labels(logits, labels);
   LossResult result;
-  result.dlogits = logits;
-  softmax_rows(result.dlogits);
+  result.loss = softmax_cross_entropy_into(logits, labels, result.dlogits);
+  return result;
+}
+
+double softmax_cross_entropy_into(const Matrix& logits,
+                                  std::span<const int> labels,
+                                  Matrix& dlogits) {
+  check_labels(logits, labels);
+  dlogits.resize(logits.rows(), logits.cols());
+  std::copy(logits.flat().begin(), logits.flat().end(),
+            dlogits.flat().begin());
+  softmax_rows(dlogits);
   const auto batch = static_cast<float>(logits.rows());
   double loss = 0.0;
   for (std::size_t r = 0; r < logits.rows(); ++r) {
-    auto probs = result.dlogits.row(r);
+    auto probs = dlogits.row(r);
     const auto y = static_cast<std::size_t>(labels[r]);
     loss -= std::log(std::max(probs[y], 1e-12f));
     for (float& p : probs) p /= batch;
     probs[y] -= 1.0f / batch;
   }
-  result.loss = loss / batch;
-  return result;
+  return loss / batch;
 }
 
 double softmax_cross_entropy_loss(const Matrix& logits,

@@ -18,6 +18,13 @@ struct LossResult {
 LossResult softmax_cross_entropy(const Matrix& logits,
                                  std::span<const int> labels);
 
+/// As softmax_cross_entropy but writes the gradient into a caller-owned
+/// buffer (storage reused via resize) and returns the loss —
+/// allocation-free once `dlogits` is warm.
+double softmax_cross_entropy_into(const Matrix& logits,
+                                  std::span<const int> labels,
+                                  Matrix& dlogits);
+
 /// Loss only (no gradient) — used by evaluation paths.
 double softmax_cross_entropy_loss(const Matrix& logits,
                                   std::span<const int> labels);

@@ -49,6 +49,29 @@ void Mlp::zero_grad() {
   for (auto& layer : layers_) layer.zero_grad();
 }
 
+const Matrix& Mlp::forward_train(const Matrix& x, TrainWorkspace& ws) const {
+  ws.acts.resize(layers_.size());
+  layers_.front().forward_eval(x, ws.acts.front());
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    layers_[i].forward_eval(ws.acts[i - 1], ws.acts[i]);
+  }
+  return ws.acts.back();
+}
+
+void Mlp::backward_train(const Matrix& x, TrainWorkspace& ws) {
+  if (ws.acts.size() != layers_.size()) {
+    throw std::logic_error("Mlp::backward_train: run forward_train first");
+  }
+  Matrix* dout = &ws.dlogits;
+  Matrix* dx = &ws.dx;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const bool first = (i == 0);
+    const Matrix& input = first ? x : ws.acts[i - 1];
+    layers_[i].backward_at(input, ws.acts[i], *dout, first ? nullptr : dx);
+    if (!first) std::swap(dout, dx);
+  }
+}
+
 std::vector<std::size_t> Mlp::predict(const Matrix& x) const {
   std::vector<std::size_t> out(x.rows());
   MlpEvalWorkspace ws;
@@ -114,6 +137,36 @@ std::vector<float> Mlp::gradients() const {
     flat.insert(flat.end(), layer.bias_grad().begin(), layer.bias_grad().end());
   }
   return flat;
+}
+
+void Mlp::parameters_into(std::span<float> out) const {
+  if (out.size() != num_params_) {
+    throw std::invalid_argument("Mlp::parameters_into: size mismatch");
+  }
+  std::size_t pos = 0;
+  for (const auto& layer : layers_) {
+    const auto w = layer.weights().flat();
+    std::copy(w.begin(), w.end(), out.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos += w.size();
+    std::copy(layer.bias().begin(), layer.bias().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos += layer.bias().size();
+  }
+}
+
+void Mlp::gradients_into(std::span<float> out) const {
+  if (out.size() != num_params_) {
+    throw std::invalid_argument("Mlp::gradients_into: size mismatch");
+  }
+  std::size_t pos = 0;
+  for (const auto& layer : layers_) {
+    const auto g = layer.weight_grad().flat();
+    std::copy(g.begin(), g.end(), out.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos += g.size();
+    std::copy(layer.bias_grad().begin(), layer.bias_grad().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos += layer.bias_grad().size();
+  }
 }
 
 void Mlp::add_to_parameters(std::span<const float> delta) {

@@ -29,6 +29,24 @@ struct MlpEvalWorkspace {
   std::vector<std::size_t> predictions;  // scratch for whole-set evals
 };
 
+/// Scratch buffers for the training path. One SGD step gathers a batch,
+/// runs forward, loss, backward and the optimizer step entirely inside
+/// these buffers, so a workspace reused across steps (and across
+/// clients) makes the steady-state training loop allocation-free after
+/// warm-up — the per-round client-side cost BaFFLe argues must stay
+/// cheap.
+struct TrainWorkspace {
+  Matrix batch;                    // gathered minibatch (rows = samples)
+  std::vector<int> batch_labels;
+  std::vector<Matrix> acts;        // per-layer outputs; back() = logits
+  Matrix dlogits;                  // loss gradient w.r.t. logits
+  Matrix dx;                       // backward ping-pong buffer
+  std::vector<float> grad;         // flat gradient (optimizer scratch)
+  std::vector<float> delta;        // flat update (optimizer scratch)
+  std::vector<float> params;       // flat params (weight-decay scratch)
+  std::vector<std::size_t> order;  // epoch shuffle order
+};
+
 class Mlp {
  public:
   explicit Mlp(const MlpConfig& config);
@@ -43,6 +61,17 @@ class Mlp {
   void backward(Matrix dlogits);
 
   void zero_grad();
+
+  /// Training forward pass through workspace buffers: ws.acts[i] holds
+  /// layer i's activated output, so nothing is cached in the layers and
+  /// nothing is allocated once the workspace is warm. Returns the logits
+  /// (= ws.acts.back()).
+  const Matrix& forward_train(const Matrix& x, TrainWorkspace& ws) const;
+
+  /// Backward pass from ws.dlogits using the activations left in `ws` by
+  /// forward_train on the same `x`. OVERWRITES the layers' gradient
+  /// buffers (exactly one backward per step — no zero_grad needed).
+  void backward_train(const Matrix& x, TrainWorkspace& ws);
 
   /// Rows per inference chunk: large enough to keep GEMM efficient,
   /// small enough that a chunk's activations stay cache-resident.
@@ -69,6 +98,11 @@ class Mlp {
   std::vector<float> parameters() const;
   void set_parameters(std::span<const float> flat);
   std::vector<float> gradients() const;
+
+  /// Allocation-free variants: write the flat vector into a caller-owned
+  /// buffer (out.size() == num_params()).
+  void parameters_into(std::span<float> out) const;
+  void gradients_into(std::span<float> out) const;
 
   /// parameters += delta (used by the server when applying aggregated
   /// updates, and by SGD).

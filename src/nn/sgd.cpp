@@ -17,29 +17,38 @@ Sgd::Sgd(std::size_t num_params, SgdConfig config)
 }
 
 void Sgd::step(Mlp& model) {
-  std::vector<float> grad = model.gradients();
-  if (grad.size() != velocity_.size()) {
+  TrainWorkspace ws;
+  step(model, ws);
+}
+
+void Sgd::step(Mlp& model, TrainWorkspace& ws) {
+  if (model.num_params() != velocity_.size()) {
     throw std::invalid_argument("Sgd::step: model size mismatch");
   }
+  ws.grad.resize(velocity_.size());
+  model.gradients_into(ws.grad);
+  std::span<float> grad(ws.grad);
   if (config_.weight_decay > 0.0f) {
-    axpy(config_.weight_decay, model.parameters(), grad);
+    ws.params.resize(velocity_.size());
+    model.parameters_into(ws.params);
+    axpy(config_.weight_decay, ws.params, grad);
   }
   if (config_.grad_clip > 0.0f) {
     const float norm = l2_norm(grad);
     if (norm > config_.grad_clip) scale(grad, config_.grad_clip / norm);
   }
-  std::vector<float> delta(grad.size());
+  ws.delta.resize(grad.size());
   if (config_.momentum > 0.0f) {
     for (std::size_t i = 0; i < grad.size(); ++i) {
       velocity_[i] = config_.momentum * velocity_[i] + grad[i];
-      delta[i] = -config_.learning_rate * velocity_[i];
+      ws.delta[i] = -config_.learning_rate * velocity_[i];
     }
   } else {
     for (std::size_t i = 0; i < grad.size(); ++i) {
-      delta[i] = -config_.learning_rate * grad[i];
+      ws.delta[i] = -config_.learning_rate * grad[i];
     }
   }
-  model.add_to_parameters(delta);
+  model.add_to_parameters(ws.delta);
 }
 
 }  // namespace baffle

@@ -26,6 +26,11 @@ class Sgd {
   /// leaves them untouched (callers zero_grad per batch).
   void step(Mlp& model);
 
+  /// Allocation-free step: gathers the flat gradient and builds the
+  /// update inside the workspace's scratch vectors. Same arithmetic as
+  /// step(Mlp&).
+  void step(Mlp& model, TrainWorkspace& ws);
+
   const SgdConfig& config() const { return config_; }
   void set_learning_rate(float lr) { config_.learning_rate = lr; }
 

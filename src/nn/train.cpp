@@ -7,6 +7,13 @@ namespace baffle {
 
 TrainStats train_sgd(Mlp& model, const Matrix& x, std::span<const int> labels,
                      const TrainConfig& config, Rng& rng) {
+  TrainWorkspace ws;
+  return train_sgd(model, x, labels, config, rng, ws);
+}
+
+TrainStats train_sgd(Mlp& model, const Matrix& x, std::span<const int> labels,
+                     const TrainConfig& config, Rng& rng,
+                     TrainWorkspace& ws) {
   if (x.rows() != labels.size()) {
     throw std::invalid_argument("train_sgd: label count mismatch");
   }
@@ -16,33 +23,33 @@ TrainStats train_sgd(Mlp& model, const Matrix& x, std::span<const int> labels,
   }
 
   Sgd optimizer(model.num_params(), config.sgd);
-  std::vector<std::size_t> order(x.rows());
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  ws.order.resize(x.rows());
+  std::iota(ws.order.begin(), ws.order.end(), std::size_t{0});
 
   TrainStats stats;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    rng.shuffle(order);
+    rng.shuffle(ws.order);
     double epoch_loss = 0.0;
     std::size_t epoch_batches = 0;
-    for (std::size_t start = 0; start < order.size();
+    for (std::size_t start = 0; start < ws.order.size();
          start += config.batch_size) {
       const std::size_t count =
-          std::min(config.batch_size, order.size() - start);
-      Matrix batch(count, x.cols());
-      std::vector<int> batch_labels(count);
+          std::min(config.batch_size, ws.order.size() - start);
+      ws.batch.resize(count, x.cols());
+      ws.batch_labels.resize(count);
       for (std::size_t i = 0; i < count; ++i) {
-        const std::size_t src = order[start + i];
-        auto dst = batch.row(i);
+        const std::size_t src = ws.order[start + i];
+        auto dst = ws.batch.row(i);
         auto row = x.row(src);
         std::copy(row.begin(), row.end(), dst.begin());
-        batch_labels[i] = labels[src];
+        ws.batch_labels[i] = labels[src];
       }
-      model.zero_grad();
-      Matrix logits = model.forward(batch);
-      LossResult loss = softmax_cross_entropy(logits, batch_labels);
-      model.backward(std::move(loss.dlogits));
-      optimizer.step(model);
-      epoch_loss += loss.loss;
+      const Matrix& logits = model.forward_train(ws.batch, ws);
+      const double loss =
+          softmax_cross_entropy_into(logits, ws.batch_labels, ws.dlogits);
+      model.backward_train(ws.batch, ws);
+      optimizer.step(model, ws);
+      epoch_loss += loss;
       ++epoch_batches;
       ++stats.steps;
     }
@@ -55,14 +62,21 @@ TrainStats train_sgd(Mlp& model, const Matrix& x, std::span<const int> labels,
 
 double evaluate_accuracy(const Mlp& model, const Matrix& x,
                          std::span<const int> labels) {
+  MlpEvalWorkspace ws;
+  return evaluate_accuracy(model, ConstMatrixView(x), labels, ws);
+}
+
+double evaluate_accuracy(const Mlp& model, ConstMatrixView x,
+                         std::span<const int> labels, MlpEvalWorkspace& ws) {
   if (x.rows() != labels.size()) {
     throw std::invalid_argument("evaluate_accuracy: label count mismatch");
   }
   if (x.rows() == 0) return 0.0;
-  const auto preds = model.predict(x);
+  ws.predictions.resize(x.rows());
+  model.predict_into(x, ws.predictions, ws);
   std::size_t correct = 0;
-  for (std::size_t i = 0; i < preds.size(); ++i) {
-    if (preds[i] == static_cast<std::size_t>(labels[i])) ++correct;
+  for (std::size_t i = 0; i < ws.predictions.size(); ++i) {
+    if (ws.predictions[i] == static_cast<std::size_t>(labels[i])) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(x.rows());
 }

@@ -28,9 +28,21 @@ struct TrainStats {
 TrainStats train_sgd(Mlp& model, const Matrix& x, std::span<const int> labels,
                      const TrainConfig& config, Rng& rng);
 
+/// As above but with caller-owned scratch: batch gather, activations,
+/// loss gradient and optimizer buffers all live in `ws`, so the per-step
+/// loop performs zero heap allocations once the workspace is warm.
+/// Bit-identical to the allocating overload.
+TrainStats train_sgd(Mlp& model, const Matrix& x, std::span<const int> labels,
+                     const TrainConfig& config, Rng& rng, TrainWorkspace& ws);
+
 /// Fraction of rows of `x` classified as `labels` — the empirical
 /// accuracy acc_D(f) of Section II-A.
 double evaluate_accuracy(const Mlp& model, const Matrix& x,
                          std::span<const int> labels);
+
+/// Zero-copy variant: predictions stream chunk-wise through `ws`
+/// (ws.predictions is the scratch), allocation-free once warm.
+double evaluate_accuracy(const Mlp& model, ConstMatrixView x,
+                         std::span<const int> labels, MlpEvalWorkspace& ws);
 
 }  // namespace baffle

@@ -69,9 +69,19 @@ void ThreadPool::parallel_for(std::size_t n,
   for (auto& f : futures) {
     // Help drain the queue instead of blocking: nested parallel_for
     // calls from pool threads would otherwise deadlock a saturated pool.
+    // When the queue is empty but the future is still unfinished (the
+    // tail task runs on another worker), back off on the future itself
+    // instead of busy-spinning: escalate the wait from 50µs to 1ms so
+    // the caller neither burns a core nor adds meaningful latency.
+    auto backoff = std::chrono::microseconds(50);
     while (f.wait_for(std::chrono::seconds(0)) !=
            std::future_status::ready) {
-      if (!try_run_one()) std::this_thread::yield();
+      if (try_run_one()) {
+        backoff = std::chrono::microseconds(50);
+      } else {
+        if (f.wait_for(backoff) == std::future_status::ready) break;
+        backoff = std::min(backoff * 2, std::chrono::microseconds(1000));
+      }
     }
   }
   if (error) std::rethrow_exception(error);

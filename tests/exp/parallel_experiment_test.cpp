@@ -1,0 +1,105 @@
+// Experiment-level determinism under round parallelism.
+//
+// The adaptive provider lives inside experiment.cpp, so its concurrency
+// safety (atomic submitted_/alpha_, single attacker task per round) is
+// exercised through run_experiment: a run with parallel rounds must be
+// bit-identical to the serial baseline. run_repeated additionally nests
+// whole runs inside the pool, so its results double as a smoke test for
+// nested fork-join scheduling.
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace baffle {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.scenario = vision_scenario(0.10);
+  cfg.scenario.num_clients = 40;
+  cfg.scenario.train_per_class_override = 80;
+  cfg.feedback.quorum = 4;
+  cfg.feedback.validator.lookback = 8;
+  cfg.schedule = AttackSchedule::stable_scenario();
+  cfg.schedule.poison_rounds = {14, 18};
+  cfg.rounds = 22;
+  cfg.defense_start = 10;
+  cfg.track_accuracy = true;
+  return cfg;
+}
+
+/// Everything in a RoundRecord except the wall-clock timings, which are
+/// the only fields allowed to differ between serial and parallel runs.
+void expect_rounds_identical(const std::vector<RoundRecord>& a,
+                             const std::vector<RoundRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].round, b[i].round);
+    EXPECT_EQ(a[i].defense_active, b[i].defense_active);
+    EXPECT_EQ(a[i].poisoned, b[i].poisoned);
+    EXPECT_EQ(a[i].rejected, b[i].rejected);
+    EXPECT_EQ(a[i].main_accuracy, b[i].main_accuracy);
+    EXPECT_EQ(a[i].backdoor_accuracy, b[i].backdoor_accuracy);
+    EXPECT_EQ(a[i].reject_votes, b[i].reject_votes);
+    EXPECT_EQ(a[i].num_validators, b[i].num_validators);
+  }
+}
+
+void expect_results_identical(const ExperimentResult& a,
+                              const ExperimentResult& b) {
+  expect_rounds_identical(a.rounds, b.rounds);
+  ASSERT_EQ(a.injections.size(), b.injections.size());
+  for (std::size_t i = 0; i < a.injections.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.injections[i].round, b.injections[i].round);
+    EXPECT_EQ(a.injections[i].adaptive, b.injections[i].adaptive);
+    EXPECT_EQ(a.injections[i].alpha, b.injections[i].alpha);
+    EXPECT_EQ(a.injections[i].rejected, b.injections[i].rejected);
+  }
+  EXPECT_EQ(a.rates.false_positives, b.rates.false_positives);
+  EXPECT_EQ(a.rates.false_negatives, b.rates.false_negatives);
+  EXPECT_EQ(a.final_main_accuracy, b.final_main_accuracy);
+  EXPECT_EQ(a.final_backdoor_accuracy, b.final_backdoor_accuracy);
+  EXPECT_EQ(a.adaptive_skipped, b.adaptive_skipped);
+}
+
+TEST(ParallelExperiment, ReplacementRunMatchesSerialBitExact) {
+  ExperimentConfig cfg = small_config();
+  cfg.scenario.parallel_rounds = true;
+  const auto parallel = run_experiment(cfg, 21);
+  cfg.scenario.parallel_rounds = false;
+  const auto serial = run_experiment(cfg, 21);
+  expect_results_identical(parallel, serial);
+}
+
+TEST(ParallelExperiment, AdaptiveRunMatchesSerialBitExact) {
+  ExperimentConfig cfg = small_config();
+  cfg.schedule.adaptive = true;
+  cfg.scenario.parallel_rounds = true;
+  const auto parallel = run_experiment(cfg, 23);
+  cfg.scenario.parallel_rounds = false;
+  const auto serial = run_experiment(cfg, 23);
+  expect_results_identical(parallel, serial);
+}
+
+TEST(ParallelExperiment, RunRepeatedNestsInsidePool) {
+  // Repetitions run as pool tasks; each repetition's rounds then issue
+  // their own parallel_for. The help-drain pool makes that safe, and
+  // pre-forked Rngs make each repetition's result independent of
+  // scheduling — so the nested runs must equal standalone ones.
+  ExperimentConfig cfg = small_config();
+  cfg.rounds = 14;
+  cfg.track_accuracy = false;
+  const auto repeated = run_repeated(cfg, 3, 90);
+  ASSERT_EQ(repeated.runs.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE(i);
+    const auto standalone = run_experiment(cfg, 90 + i);
+    expect_results_identical(repeated.runs[i], standalone);
+  }
+}
+
+}  // namespace
+}  // namespace baffle

@@ -1,0 +1,169 @@
+// Serial-vs-parallel parity of the round's client-update phase.
+//
+// FlConfig::parallel_updates must not change results: per-client Rngs
+// are pre-forked serially in contributor order, updates land in
+// pre-sized slots, and the aggregation order is unchanged — so the
+// parallel round is bit-identical to the serial loop, for honest and
+// attacking providers alike, with and without secure aggregation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/dba.hpp"
+#include "attack/model_replacement.hpp"
+#include "data/synth.hpp"
+#include "fl/server.hpp"
+#include "nn/train.hpp"
+
+namespace baffle {
+namespace {
+
+struct ParityFixture {
+  SynthTask task;
+  std::vector<FlClient> clients;
+
+  ParityFixture() : task(make_task()) {
+    Rng rng(101);
+    for (std::size_t i = 0; i < 8; ++i) {
+      Rng crng = rng.fork();
+      clients.emplace_back(i, task.train.sample(120, crng));
+    }
+  }
+
+  static SynthTask make_task() {
+    Rng rng(100);
+    SynthTaskConfig cfg = synth_vision10_config();
+    cfg.backdoor_kind = BackdoorKind::kTrigger;
+    cfg.train_per_class = 80;
+    return make_synth_task(cfg, rng);
+  }
+
+  MlpConfig arch() const {
+    return MlpConfig{{task.config.dim, 16, task.config.num_classes},
+                     Activation::kRelu};
+  }
+
+  FlConfig fl_config(bool parallel, bool secure = false) const {
+    FlConfig cfg;
+    cfg.total_clients = clients.size();
+    cfg.clients_per_round = 4;
+    cfg.secure_aggregation = secure;
+    cfg.parallel_updates = parallel;
+    return cfg;
+  }
+};
+
+/// Runs `rounds` committed rounds on two same-seeded servers — one
+/// serial, one parallel — with independently constructed but identically
+/// seeded providers, and requires bit-identical proposals throughout.
+template <typename ProviderFactory>
+void expect_bit_exact_rounds(const ParityFixture& f, ProviderFactory make,
+                             bool secure, std::size_t rounds = 3) {
+  FlServer serial(f.arch(), f.fl_config(false, secure), 55);
+  FlServer parallel(f.arch(), f.fl_config(true, secure), 55);
+  ASSERT_EQ(serial.global_model().parameters(),
+            parallel.global_model().parameters());
+  auto p_serial = make();
+  auto p_parallel = make();
+  Rng rng_serial(77), rng_parallel(77);
+  const std::vector<std::size_t> contributors{0, 2, 5, 7};
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto prop_s =
+        serial.propose_round_with(contributors, *p_serial, rng_serial);
+    const auto prop_p =
+        parallel.propose_round_with(contributors, *p_parallel, rng_parallel);
+    ASSERT_EQ(prop_s.candidate_params, prop_p.candidate_params)
+        << "round " << r << " diverged";
+    serial.commit(prop_s);
+    parallel.commit(prop_p);
+  }
+}
+
+TEST(ParallelRound, HonestBitExact) {
+  ParityFixture f;
+  expect_bit_exact_rounds(
+      f,
+      [&] {
+        return std::make_unique<HonestUpdateProvider>(&f.clients,
+                                                      TrainConfig{});
+      },
+      /*secure=*/false);
+}
+
+TEST(ParallelRound, HonestSecureAggregationBitExact) {
+  ParityFixture f;
+  expect_bit_exact_rounds(
+      f,
+      [&] {
+        return std::make_unique<HonestUpdateProvider>(&f.clients,
+                                                      TrainConfig{});
+      },
+      /*secure=*/true);
+}
+
+TEST(ParallelRound, ReplacementAttackBitExact) {
+  ParityFixture f;
+  ModelReplacementConfig attack;
+  attack.task = BackdoorTask{BackdoorKind::kTrigger,
+                             f.task.config.backdoor_source,
+                             f.task.config.backdoor_target};
+  attack.poison_fraction = 0.3;
+  attack.boost = 4.0;
+  attack.train.epochs = 2;
+  expect_bit_exact_rounds(
+      f,
+      [&] {
+        HonestUpdateProvider honest(&f.clients, TrainConfig{});
+        auto p = std::make_unique<MaliciousUpdateProvider>(
+            honest, /*attacker_id=*/2, f.clients[2].data(),
+            f.task.backdoor_train, attack);
+        p->arm(true);
+        return p;
+      },
+      /*secure=*/false);
+}
+
+TEST(ParallelRound, DbaAttackBitExact) {
+  ParityFixture f;
+  DbaConfig attack;
+  attack.num_parts = 3;
+  attack.target_class = f.task.config.backdoor_target;
+  attack.train.epochs = 2;
+  expect_bit_exact_rounds(
+      f,
+      [&] {
+        HonestUpdateProvider honest(&f.clients, TrainConfig{});
+        std::vector<Dataset> colluder_data{f.clients[0].data(),
+                                           f.clients[2].data(),
+                                           f.clients[5].data()};
+        auto p = std::make_unique<DbaUpdateProvider>(
+            honest, std::vector<std::size_t>{0, 2, 5},
+            std::move(colluder_data), trigger_pattern(f.task.config), attack);
+        p->arm(true);
+        return p;
+      },
+      /*secure=*/true);
+}
+
+TEST(ParallelRound, SampledContributorsMatchSerial) {
+  // propose_round consumes round_rng for sampling before forking the
+  // per-client streams, so sampled rounds must also agree bit-for-bit.
+  ParityFixture f;
+  FlServer serial(f.arch(), f.fl_config(false), 56);
+  FlServer parallel(f.arch(), f.fl_config(true), 56);
+  HonestUpdateProvider p1(&f.clients, TrainConfig{});
+  HonestUpdateProvider p2(&f.clients, TrainConfig{});
+  Rng rng1(9), rng2(9);
+  for (int r = 0; r < 2; ++r) {
+    const auto prop_s = serial.propose_round(p1, rng1);
+    const auto prop_p = parallel.propose_round(p2, rng2);
+    ASSERT_EQ(prop_s.contributors, prop_p.contributors);
+    ASSERT_EQ(prop_s.candidate_params, prop_p.candidate_params);
+    serial.commit(prop_s);
+    parallel.commit(prop_p);
+  }
+}
+
+}  // namespace
+}  // namespace baffle

@@ -219,6 +219,13 @@ int main(int argc, char** argv) {
               result.final_main_accuracy, result.final_backdoor_accuracy);
 
   const auto& registry = MetricsRegistry::global();
+  const std::uint64_t trains = registry.timer_count("experiment.round_train");
+  if (trains > 0) {
+    std::printf("round training: %.2f ms/round over %llu rounds\n",
+                1e3 * registry.timer_seconds("experiment.round_train") /
+                    static_cast<double>(trains),
+                static_cast<unsigned long long>(trains));
+  }
   const std::uint64_t evals = registry.timer_count("experiment.round_eval");
   if (evals > 0) {
     std::printf("defense evaluation: %.2f ms/round over %llu rounds "

@@ -29,12 +29,16 @@ ctest --test-dir build-strict --output-on-failure -j "$JOBS"
 if [[ "$RUN_TSAN" -eq 1 ]]; then
   echo "== ThreadSanitizer (BAFFLE_TSAN=ON) =="
   cmake -B build-tsan -S . -DBAFFLE_TSAN=ON
-  cmake --build build-tsan -j "$JOBS" --target test_tensor test_core test_util
+  cmake --build build-tsan -j "$JOBS" \
+    --target test_tensor test_core test_util test_fl test_exp
   # Force a multi-worker pool even on single-core hosts so the parallel
-  # GEMM and defense.evaluate paths actually interleave under TSan.
+  # GEMM, round-training, secure-agg masking and defense.evaluate paths
+  # actually interleave under TSan.
   BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_tensor
   BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_core
   BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_util
+  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_fl
+  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_exp
 fi
 
 echo "check.sh: all stages passed"
