@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "tensor/ops.hpp"
+#include "tensor/primitives.hpp"
 
 namespace baffle {
 

@@ -4,7 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "tensor/ops.hpp"
+#include "tensor/primitives.hpp"
 
 namespace baffle {
 
@@ -17,12 +17,13 @@ std::vector<double> KrumAggregator::scores(
   if (n < assumed_byzantine_ + 3) {
     throw std::invalid_argument("Krum: need n >= f + 3 updates");
   }
-  // Pairwise squared distances.
+  // Pairwise squared distances, straight from the squared-norm kernel
+  // (no sqrt-then-square round trip).
   std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = l2_distance(updates[i], updates[j]);
-      d2[i][j] = d2[j][i] = d * d;
+      d2[i][j] = d2[j][i] = static_cast<double>(
+          squared_l2_distance(updates[i], updates[j]));
     }
   }
   const std::size_t closest = n - assumed_byzantine_ - 2;

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "tensor/ops.hpp"
+#include "tensor/primitives.hpp"
 
 namespace baffle {
 

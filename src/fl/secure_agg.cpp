@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/primitives.hpp"
 #include "util/rng.hpp"
 
 namespace baffle {
@@ -78,9 +79,7 @@ ParamVec SecureAggregation::unmask_sum(
     }
   }
   MaskedVec total(vec_len, 0);
-  for (const auto& m : masked) {
-    for (std::size_t i = 0; i < vec_len; ++i) total[i] += m[i];
-  }
+  for (const auto& m : masked) add_u64(total, m);
   // Cancel the masks survivors applied against dropped participants: in
   // the real protocol the server recovers these seeds from the Shamir
   // shares held by surviving clients.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/primitives.hpp"
+
 namespace baffle {
 
 void activation_forward(Activation act, Matrix& m) {
@@ -10,9 +12,7 @@ void activation_forward(Activation act, Matrix& m) {
     case Activation::kIdentity:
       return;
     case Activation::kRelu:
-      for (float& x : m.flat()) {
-        if (x < 0.0f) x = 0.0f;
-      }
+      relu_forward(m.flat());
       return;
     case Activation::kTanh:
       for (float& x : m.flat()) x = std::tanh(x);
@@ -29,14 +29,9 @@ void activation_backward(Activation act, const Matrix& activated,
   switch (act) {
     case Activation::kIdentity:
       return;
-    case Activation::kRelu: {
-      auto a = activated.flat();
-      auto g = grad.flat();
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i] <= 0.0f) g[i] = 0.0f;
-      }
+    case Activation::kRelu:
+      relu_backward(activated.flat(), grad.flat());
       return;
-    }
     case Activation::kTanh: {
       auto a = activated.flat();
       auto g = grad.flat();

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "tensor/primitives.hpp"
 #include "util/serialization.hpp"
 
 namespace baffle {
@@ -14,11 +15,15 @@ constexpr std::uint32_t kMagic = 0xBAFFC0DE;
 
 std::vector<std::size_t> topk_indices(const ParamVec& params,
                                       std::size_t k) {
+  // Precompute |params| in one vectorized sweep; fabs is exact, so the
+  // selection is identical to comparing std::abs on the fly.
+  std::vector<float> mags(params.size());
+  abs_into(mags, params);
   std::vector<std::size_t> idx(params.size());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
                    idx.end(), [&](std::size_t a, std::size_t b) {
-                     return std::abs(params[a]) > std::abs(params[b]);
+                     return mags[a] > mags[b];
                    });
   idx.resize(k);
   std::sort(idx.begin(), idx.end());

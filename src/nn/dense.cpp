@@ -26,17 +26,29 @@ void Dense::init_weights(Rng& rng) {
   const double scale = act_ == Activation::kRelu
                            ? std::sqrt(2.0 / fan_in)
                            : std::sqrt(1.0 / fan_in);
+  ++param_version_;
   for (float& w : weights_.flat()) {
     w = static_cast<float>(rng.normal(0.0, scale));
   }
   std::fill(bias_.begin(), bias_.end(), 0.0f);
 }
 
+void Dense::ensure_packed() {
+  if (!gemm_uses_packed()) return;
+  if (packed_.valid_for(in_dim_, out_dim_, param_version_)) return;
+  pack_b_panels(weights_, packed_, param_version_);
+}
+
 void Dense::forward(const Matrix& x, Matrix& out) {
   if (x.cols() != in_dim_) throw std::invalid_argument("Dense: input dim");
   cached_input_ = x;
   out = Matrix(x.rows(), out_dim_);
-  gemm_ab(x, weights_, out);
+  ensure_packed();
+  if (packed_cache_valid()) {
+    gemm_ab_packed(x, packed_, out);
+  } else {
+    gemm_ab(x, weights_, out);
+  }
   add_row_bias(out, bias_);
   activation_forward(act_, out);
   cached_output_ = out;
@@ -45,7 +57,14 @@ void Dense::forward(const Matrix& x, Matrix& out) {
 void Dense::forward_eval(ConstMatrixView x, Matrix& out) const {
   if (x.cols() != in_dim_) throw std::invalid_argument("Dense: input dim");
   out.resize(x.rows(), out_dim_);
-  gemm_ab(x, weights_, out);
+  // const + concurrent-safe: use the member pack only when it already
+  // matches the current parameters; otherwise take the plain gemm path
+  // (which repacks into thread_local scratch on the SIMD arm).
+  if (gemm_uses_packed() && packed_cache_valid()) {
+    gemm_ab_packed(x, packed_, out);
+  } else {
+    gemm_ab(x, weights_, out);
+  }
   add_row_bias(out, bias_);
   activation_forward(act_, out);
 }

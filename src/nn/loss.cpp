@@ -35,17 +35,7 @@ double softmax_cross_entropy_into(const Matrix& logits,
   dlogits.resize(logits.rows(), logits.cols());
   std::copy(logits.flat().begin(), logits.flat().end(),
             dlogits.flat().begin());
-  softmax_rows(dlogits);
-  const auto batch = static_cast<float>(logits.rows());
-  double loss = 0.0;
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
-    auto probs = dlogits.row(r);
-    const auto y = static_cast<std::size_t>(labels[r]);
-    loss -= std::log(std::max(probs[y], 1e-12f));
-    for (float& p : probs) p /= batch;
-    probs[y] -= 1.0f / batch;
-  }
-  return loss / batch;
+  return softmax_xent_rows(dlogits, labels);
 }
 
 double softmax_cross_entropy_loss(const Matrix& logits,

@@ -39,15 +39,14 @@ void Sgd::step(Mlp& model, TrainWorkspace& ws) {
   }
   ws.delta.resize(grad.size());
   if (config_.momentum > 0.0f) {
-    for (std::size_t i = 0; i < grad.size(); ++i) {
-      velocity_[i] = config_.momentum * velocity_[i] + grad[i];
-      ws.delta[i] = -config_.learning_rate * velocity_[i];
-    }
+    // v = momentum * v + g, then delta = -lr * v.
+    scale_add(velocity_, config_.momentum, grad, 1.0f);
+    scale_into(ws.delta, -config_.learning_rate, velocity_);
   } else {
-    for (std::size_t i = 0; i < grad.size(); ++i) {
-      ws.delta[i] = -config_.learning_rate * grad[i];
-    }
+    scale_into(ws.delta, -config_.learning_rate, grad);
   }
+  // add_to_parameters goes through Dense::weights(), whose version bump
+  // invalidates each layer's packed GEMM panel.
   model.add_to_parameters(ws.delta);
 }
 

@@ -1,0 +1,47 @@
+#pragma once
+// Cache-line-aligned allocator for SIMD-friendly buffers.
+//
+// Matrix storage and the packed GEMM panels are allocated through this
+// so 256-bit loads never straddle a cache line and the panel kernels
+// can use aligned loads outright.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace baffle {
+
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T),
+                "AlignedAllocator: alignment below the type's natural one");
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Float buffer aligned to a cache line (the alignment simd kernels
+/// assume for packed panels; see simd::kAlignment).
+using AlignedFloatVec = std::vector<float, AlignedAllocator<float, 64>>;
+
+}  // namespace baffle

@@ -1,0 +1,96 @@
+#pragma once
+// Internal dispatch table between the scalar and vector kernel arms.
+//
+// Everything here operates on raw pointers + strides so the same entry
+// points can be implemented twice: tensor/kernels_scalar.cpp keeps the
+// pre-SIMD loops (and is the ground truth the parity tests compare
+// against), tensor/kernels_simd.cpp provides the packed AVX2/FMA
+// microkernels and vectorized primitives. tensor/ops.cpp and
+// tensor/primitives.cpp do the shape checking, packing and thread-pool
+// splitting, then call through active_table().
+
+#include <cstddef>
+#include <cstdint>
+
+namespace baffle::kernels {
+
+/// Columns per packed-B panel: two 8-float vectors. Panels are stored
+/// contiguously (k rows x 16 floats each, 64-byte aligned, tail panel
+/// zero-padded), so one panel row is exactly one cache line.
+inline constexpr std::size_t kPanelCols = 16;
+
+/// Row-range GEMM over the operands in their natural layout (the
+/// scalar arm's form; also used by the vector arm's fallback-free
+/// callers via ops.cpp orchestration).
+struct GemmRowArgs {
+  const float* a = nullptr;  // A base; meaning of strides depends on kernel
+  std::size_t lda = 0;       // row stride of the A matrix as stored
+  const float* b = nullptr;  // B base (natural layout)
+  std::size_t ldb = 0;       // row stride of B as stored
+  float* c = nullptr;        // output base
+  std::size_t ldc = 0;       // row stride of C
+  std::size_t k = 0;         // inner dimension
+  std::size_t n = 0;         // output columns
+};
+
+/// Row-range GEMM against a packed-B panel buffer. A is addressed as
+/// a[i * a_row_stride + p * a_p_stride] for output row i and inner
+/// index p, which expresses both the normal (ab/abt) and transposed
+/// (atb) A operand without a separate kernel.
+struct PackedGemmArgs {
+  const float* a = nullptr;
+  std::size_t a_row_stride = 0;
+  std::size_t a_p_stride = 0;
+  const float* bp = nullptr;  // packed panels, 64-byte aligned
+  float* c = nullptr;
+  std::size_t ldc = 0;
+  std::size_t k = 0;
+  std::size_t n = 0;
+};
+
+struct KernelTable {
+  const char* name;
+  /// True when gemm_* entry points should pack B and use
+  /// gemm_packed_rows (the vector arm); false to use the legacy row
+  /// kernels on the natural layout (the scalar arm).
+  bool prefer_packed;
+
+  void (*gemm_ab_rows)(const GemmRowArgs&, std::size_t r0, std::size_t r1);
+  void (*gemm_atb_rows)(const GemmRowArgs&, std::size_t r0, std::size_t r1);
+  void (*gemm_abt_rows)(const GemmRowArgs&, std::size_t r0, std::size_t r1);
+  void (*gemm_packed_rows)(const PackedGemmArgs&, std::size_t r0,
+                           std::size_t r1);
+
+  // Flat-vector primitives. All length arguments are element counts.
+  // The reductions return their raw double accumulator so the public
+  // wrappers can round exactly where the pre-SIMD code did (e.g.
+  // l2_norm takes sqrt in double, then casts).
+  double (*dot)(const float*, const float*, std::size_t);
+  double (*squared_l2)(const float*, std::size_t);
+  double (*squared_l2_distance)(const float*, const float*, std::size_t);
+  float (*cosine_similarity)(const float*, const float*, std::size_t);
+  void (*axpy)(float alpha, const float*, float*, std::size_t);
+  void (*scale)(float*, float alpha, std::size_t);
+  // y = beta * y + alpha * x
+  void (*scale_add)(float* y, float beta, const float* x, float alpha,
+                    std::size_t);
+  // out = alpha * x
+  void (*scale_into)(float* out, float alpha, const float* x, std::size_t);
+  void (*abs_into)(float* out, const float* x, std::size_t);
+  float (*max_value)(const float*, std::size_t);  // n > 0
+  void (*relu_forward)(float*, std::size_t);
+  void (*relu_backward)(const float* activated, float* grad, std::size_t);
+  void (*add_u64)(std::uint64_t* acc, const std::uint64_t*, std::size_t);
+  double (*sum_d)(const double*, std::size_t);
+  double (*sum_sq_diff_d)(const double*, double center, std::size_t);
+};
+
+/// Always available; arithmetic identical to the pre-SIMD code.
+const KernelTable& scalar_table();
+/// AVX2/FMA arm, or nullptr when not compiled in / not supported by
+/// the running CPU.
+const KernelTable* vector_table();
+/// The arm selected by simd::active_isa() (env + CPUID + force_isa).
+const KernelTable& active_table();
+
+}  // namespace baffle::kernels

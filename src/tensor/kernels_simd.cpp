@@ -1,0 +1,400 @@
+// Vector kernel arm: packed-panel GEMM microkernels and 8-wide
+// primitives written against tensor/simd.hpp. This translation unit is
+// the only one compiled with -mavx2 -mfma -ffp-contract=fast (see
+// src/CMakeLists.txt), which is why the kernels live behind the
+// function-pointer table instead of in a header: nothing here may be
+// inlined into code that must run on non-AVX2 CPUs.
+//
+// Numeric contract: the dot/norm/distance family keeps the scalar
+// arm's double-precision accumulation (via 4-wide double lanes), so the
+// two arms differ only by reassociation and FMA rounding — within the
+// parity-test tolerance — while relu/abs/max and the u64 adds are
+// bit-exact.
+
+#include "tensor/kernels.hpp"
+#include "tensor/simd.hpp"
+
+#if BAFFLE_SIMD_VEC_EXT && defined(BAFFLE_SIMD_TARGET_AVX2) && \
+    defined(__x86_64__)
+
+#include <algorithm>
+#include <cmath>
+
+namespace baffle::kernels {
+namespace {
+
+using simd::f32x8;
+using simd::f64x4;
+using simd::hsum4;
+using simd::i32x8;
+using simd::kFloatLanes;
+using simd::loada8;
+using simd::loadu4d;
+using simd::loadu4u;
+using simd::loadu8;
+using simd::splat8;
+using simd::storeu4u;
+using simd::storeu8;
+using simd::u64x4;
+using simd::vabs8;
+using simd::vmax8;
+using simd::vrelu8;
+using simd::widen_hi;
+using simd::widen_lo;
+
+/// One MR x 16 register tile: MR rows of C against one packed B panel.
+/// MR <= 6 keeps 2*MR accumulators + 2 panel loads + 1 broadcast within
+/// the 16 ymm registers. A is addressed through the stride pair so the
+/// same tile serves gemm_ab (a_p_stride=1) and gemm_atb (a_row_stride=1).
+template <int MR>
+BAFFLE_ALWAYS_INLINE void micro_tile(const PackedGemmArgs& g,
+                                     const float* panel, std::size_t i0,
+                                     std::size_t j0, std::size_t cols) {
+  f32x8 acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = f32x8{};
+    acc1[r] = f32x8{};
+  }
+  const float* a0 = g.a + i0 * g.a_row_stride;
+  for (std::size_t p = 0; p < g.k; ++p) {
+    const f32x8 b0 = loada8(panel + p * kPanelCols);
+    const f32x8 b1 = loada8(panel + p * kPanelCols + kFloatLanes);
+    const float* ap = a0 + p * g.a_p_stride;
+    for (int r = 0; r < MR; ++r) {
+      const f32x8 av = splat8(ap[r * g.a_row_stride]);
+      acc0[r] += av * b0;  // contracts to FMA under -ffp-contract=fast
+      acc1[r] += av * b1;
+    }
+  }
+  if (cols == kPanelCols) {
+    for (int r = 0; r < MR; ++r) {
+      float* out = g.c + (i0 + r) * g.ldc + j0;
+      storeu8(out, acc0[r]);
+      storeu8(out + kFloatLanes, acc1[r]);
+    }
+  } else {
+    // Tail panel: spill the registers to an aligned staging row and
+    // copy only the live columns, so we never write past row end.
+    alignas(32) float tmp[kPanelCols];
+    for (int r = 0; r < MR; ++r) {
+      *reinterpret_cast<f32x8*>(tmp) = acc0[r];
+      *reinterpret_cast<f32x8*>(tmp + kFloatLanes) = acc1[r];
+      float* out = g.c + (i0 + r) * g.ldc + j0;
+      for (std::size_t c = 0; c < cols; ++c) out[c] = tmp[c];
+    }
+  }
+}
+
+void gemm_packed_rows(const PackedGemmArgs& g, std::size_t r0,
+                      std::size_t r1) {
+  const std::size_t panels = (g.n + kPanelCols - 1) / kPanelCols;
+  // Panel-outer: one k x 16 panel (16 KiB at k=256) stays L1-resident
+  // while every row tile in [r0, r1) streams over it.
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    const float* panel = g.bp + jp * g.k * kPanelCols;
+    const std::size_t j0 = jp * kPanelCols;
+    const std::size_t cols = std::min(kPanelCols, g.n - j0);
+    std::size_t i = r0;
+    for (; i + 6 <= r1; i += 6) micro_tile<6>(g, panel, i, j0, cols);
+    switch (r1 - i) {
+      case 5: micro_tile<5>(g, panel, i, j0, cols); break;
+      case 4: micro_tile<4>(g, panel, i, j0, cols); break;
+      case 3: micro_tile<3>(g, panel, i, j0, cols); break;
+      case 2: micro_tile<2>(g, panel, i, j0, cols); break;
+      case 1: micro_tile<1>(g, panel, i, j0, cols); break;
+      default: break;
+    }
+  }
+}
+
+// The double-widening reductions are unrolled 2x (16 floats, four
+// independent f64x4 chains per iteration): with only two chains the
+// loop is bound by FMA latency, not throughput.
+
+double dot(const float* a, const float* b, std::size_t n) {
+  f64x4 lo0{}, hi0{}, lo1{}, hi1{};
+  std::size_t i = 0;
+  for (; i + 2 * kFloatLanes <= n; i += 2 * kFloatLanes) {
+    const f32x8 a0 = loadu8(a + i);
+    const f32x8 b0 = loadu8(b + i);
+    const f32x8 a1 = loadu8(a + i + kFloatLanes);
+    const f32x8 b1 = loadu8(b + i + kFloatLanes);
+    lo0 += widen_lo(a0) * widen_lo(b0);
+    hi0 += widen_hi(a0) * widen_hi(b0);
+    lo1 += widen_lo(a1) * widen_lo(b1);
+    hi1 += widen_hi(a1) * widen_hi(b1);
+  }
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    const f32x8 av = loadu8(a + i);
+    const f32x8 bv = loadu8(b + i);
+    lo0 += widen_lo(av) * widen_lo(bv);
+    hi0 += widen_hi(av) * widen_hi(bv);
+  }
+  double acc = hsum4((lo0 + lo1) + (hi0 + hi1));
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double squared_l2(const float* x, std::size_t n) {
+  f64x4 lo0{}, hi0{}, lo1{}, hi1{};
+  std::size_t i = 0;
+  for (; i + 2 * kFloatLanes <= n; i += 2 * kFloatLanes) {
+    const f32x8 v0 = loadu8(x + i);
+    const f32x8 v1 = loadu8(x + i + kFloatLanes);
+    const f64x4 dl0 = widen_lo(v0), dh0 = widen_hi(v0);
+    const f64x4 dl1 = widen_lo(v1), dh1 = widen_hi(v1);
+    lo0 += dl0 * dl0;
+    hi0 += dh0 * dh0;
+    lo1 += dl1 * dl1;
+    hi1 += dh1 * dh1;
+  }
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    const f32x8 v = loadu8(x + i);
+    const f64x4 dl = widen_lo(v), dh = widen_hi(v);
+    lo0 += dl * dl;
+    hi0 += dh * dh;
+  }
+  double acc = hsum4((lo0 + lo1) + (hi0 + hi1));
+  for (; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return acc;
+}
+
+double squared_l2_distance(const float* a, const float* b, std::size_t n) {
+  f64x4 lo0{}, hi0{}, lo1{}, hi1{};
+  std::size_t i = 0;
+  for (; i + 2 * kFloatLanes <= n; i += 2 * kFloatLanes) {
+    const f32x8 a0 = loadu8(a + i);
+    const f32x8 b0 = loadu8(b + i);
+    const f32x8 a1 = loadu8(a + i + kFloatLanes);
+    const f32x8 b1 = loadu8(b + i + kFloatLanes);
+    const f64x4 dl0 = widen_lo(a0) - widen_lo(b0);
+    const f64x4 dh0 = widen_hi(a0) - widen_hi(b0);
+    const f64x4 dl1 = widen_lo(a1) - widen_lo(b1);
+    const f64x4 dh1 = widen_hi(a1) - widen_hi(b1);
+    lo0 += dl0 * dl0;
+    hi0 += dh0 * dh0;
+    lo1 += dl1 * dl1;
+    hi1 += dh1 * dh1;
+  }
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    const f32x8 av = loadu8(a + i);
+    const f32x8 bv = loadu8(b + i);
+    const f64x4 dl = widen_lo(av) - widen_lo(bv);
+    const f64x4 dh = widen_hi(av) - widen_hi(bv);
+    lo0 += dl * dl;
+    hi0 += dh * dh;
+  }
+  double acc = hsum4((lo0 + lo1) + (hi0 + hi1));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+float cosine_similarity(const float* a, const float* b, std::size_t n) {
+  // One fused pass: the scalar arm makes three (norm, norm, dot).
+  // Reductions and the norm/zero handling match it structurally, so the
+  // results agree to reassociation rounding.
+  f64x4 d_lo{}, d_hi{}, na_lo{}, na_hi{}, nb_lo{}, nb_hi{};
+  std::size_t i = 0;
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    const f32x8 av = loadu8(a + i);
+    const f32x8 bv = loadu8(b + i);
+    const f64x4 al = widen_lo(av), ah = widen_hi(av);
+    const f64x4 bl = widen_lo(bv), bh = widen_hi(bv);
+    d_lo += al * bl;
+    d_hi += ah * bh;
+    na_lo += al * al;
+    na_hi += ah * ah;
+    nb_lo += bl * bl;
+    nb_hi += bh * bh;
+  }
+  double d = hsum4(d_lo + d_hi);
+  double na2 = hsum4(na_lo + na_hi);
+  double nb2 = hsum4(nb_lo + nb_hi);
+  for (; i < n; ++i) {
+    const double av = a[i], bv = b[i];
+    d += av * bv;
+    na2 += av * av;
+    nb2 += bv * bv;
+  }
+  const float na = static_cast<float>(std::sqrt(na2));
+  const float nb = static_cast<float>(std::sqrt(nb2));
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return static_cast<float>(d) / (na * nb);
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+  const f32x8 av = splat8(alpha);
+  std::size_t i = 0;
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    storeu8(y + i, loadu8(y + i) + av * loadu8(x + i));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float* x, float alpha, std::size_t n) {
+  const f32x8 av = splat8(alpha);
+  std::size_t i = 0;
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    storeu8(x + i, loadu8(x + i) * av);
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void scale_add(float* y, float beta, const float* x, float alpha,
+               std::size_t n) {
+  const f32x8 bv = splat8(beta);
+  const f32x8 av = splat8(alpha);
+  std::size_t i = 0;
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    storeu8(y + i, bv * loadu8(y + i) + av * loadu8(x + i));
+  }
+  for (; i < n; ++i) y[i] = beta * y[i] + alpha * x[i];
+}
+
+void scale_into(float* out, float alpha, const float* x, std::size_t n) {
+  const f32x8 av = splat8(alpha);
+  std::size_t i = 0;
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    storeu8(out + i, av * loadu8(x + i));
+  }
+  for (; i < n; ++i) out[i] = alpha * x[i];
+}
+
+void abs_into(float* out, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    storeu8(out + i, vabs8(loadu8(x + i)));
+  }
+  for (; i < n; ++i) out[i] = std::fabs(x[i]);
+}
+
+float max_value(const float* x, std::size_t n) {
+  std::size_t i = 0;
+  float best = x[0];
+  if (n >= kFloatLanes) {
+    f32x8 acc = loadu8(x);
+    for (i = kFloatLanes; i + kFloatLanes <= n; i += kFloatLanes) {
+      acc = vmax8(acc, loadu8(x + i));
+    }
+    best = acc[0];
+    for (std::size_t l = 1; l < kFloatLanes; ++l) {
+      if (acc[l] > best) best = acc[l];
+    }
+  }
+  for (; i < n; ++i) {
+    if (x[i] > best) best = x[i];
+  }
+  return best;
+}
+
+void relu_forward(float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    storeu8(x + i, vrelu8(loadu8(x + i)));
+  }
+  for (; i < n; ++i) {
+    if (x[i] < 0.0f) x[i] = 0.0f;
+  }
+}
+
+void relu_backward(const float* activated, float* grad, std::size_t n) {
+  const f32x8 zero{};
+  std::size_t i = 0;
+  for (; i + kFloatLanes <= n; i += kFloatLanes) {
+    // keep where NOT (activated <= 0): a NaN activation keeps its
+    // gradient, exactly like the scalar `if (a <= 0) g = 0`.
+    const i32x8 keep = ~(loadu8(activated + i) <= zero);
+    const f32x8 g = loadu8(grad + i);
+    storeu8(grad + i, __builtin_bit_cast(
+                          f32x8, __builtin_bit_cast(i32x8, g) & keep));
+  }
+  for (; i < n; ++i) {
+    if (activated[i] <= 0.0f) grad[i] = 0.0f;
+  }
+}
+
+void add_u64(std::uint64_t* acc, const std::uint64_t* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + simd::kDoubleLanes <= n; i += simd::kDoubleLanes) {
+    storeu4u(acc + i, loadu4u(acc + i) + loadu4u(x + i));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+double sum_d(const double* x, std::size_t n) {
+  f64x4 acc{};
+  std::size_t i = 0;
+  for (; i + simd::kDoubleLanes <= n; i += simd::kDoubleLanes) {
+    acc += loadu4d(x + i);
+  }
+  double s = hsum4(acc);
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+double sum_sq_diff_d(const double* x, double center, std::size_t n) {
+  const f64x4 cv = {center, center, center, center};
+  f64x4 acc{};
+  std::size_t i = 0;
+  for (; i + simd::kDoubleLanes <= n; i += simd::kDoubleLanes) {
+    const f64x4 d = loadu4d(x + i) - cv;
+    acc += d * d;
+  }
+  double s = hsum4(acc);
+  for (; i < n; ++i) s += (x[i] - center) * (x[i] - center);
+  return s;
+}
+
+KernelTable make_table() {
+  KernelTable t = scalar_table();
+  t.name = "avx2";
+  t.prefer_packed = true;
+  // The natural-layout row kernels stay on the scalar implementations:
+  // with prefer_packed set, ops.cpp routes every gemm through the
+  // packed path, so those entries only serve as a safety net.
+  t.gemm_packed_rows = gemm_packed_rows;
+  t.dot = dot;
+  t.squared_l2 = squared_l2;
+  t.squared_l2_distance = squared_l2_distance;
+  t.cosine_similarity = cosine_similarity;
+  t.axpy = axpy;
+  t.scale = scale;
+  t.scale_add = scale_add;
+  t.scale_into = scale_into;
+  t.abs_into = abs_into;
+  t.max_value = max_value;
+  t.relu_forward = relu_forward;
+  t.relu_backward = relu_backward;
+  t.add_u64 = add_u64;
+  t.sum_d = sum_d;
+  t.sum_sq_diff_d = sum_sq_diff_d;
+  return t;
+}
+
+}  // namespace
+
+const KernelTable* vector_table() {
+  // CPUID check once; the answer cannot change while the process runs.
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (!supported) return nullptr;
+  static const KernelTable table = make_table();
+  return &table;
+}
+
+}  // namespace baffle::kernels
+
+#else  // vector arm not compiled in
+
+namespace baffle::kernels {
+const KernelTable* vector_table() { return nullptr; }
+}  // namespace baffle::kernels
+
+#endif

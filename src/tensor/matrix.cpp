@@ -12,7 +12,9 @@ Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
   Matrix m;
   m.rows_ = rows;
   m.cols_ = cols;
-  m.data_ = std::move(data);
+  // Copy into the aligned buffer: the vector's own allocation carries
+  // no alignment guarantee, so it cannot be adopted by move.
+  m.data_.assign(data.begin(), data.end());
   return m;
 }
 

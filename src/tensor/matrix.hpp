@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "tensor/aligned.hpp"
+
 namespace baffle {
 
 class Matrix {
@@ -65,7 +67,9 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  // Cache-line-aligned so SIMD loads of the first row are aligned and
+  // no 256-bit access anywhere in the buffer straddles a line.
+  AlignedFloatVec data_;
 };
 
 /// Non-owning read-only view of a row-major float matrix, or of a

@@ -1,10 +1,14 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
+#include "tensor/simd.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -21,14 +25,6 @@ void check(bool cond, const char* what) {
 // saves — the per-batch training shapes (32x64x10 and friends) all stay
 // inline on the caller.
 constexpr std::size_t kParallelMacs = std::size_t{1} << 20;
-
-// Inner-dimension panel: a kKBlock-row slice of B (kKBlock * n floats)
-// stays hot in L1/L2 while a block of output rows streams over it.
-constexpr std::size_t kKBlock = 128;
-
-// Column panel for the abt kernel: bounds the slice of B rows reused
-// across an output-row block.
-constexpr std::size_t kJBlock = 128;
 
 /// Runs fn(r0, r1) over row ranges covering [0, m): in parallel row
 /// blocks on the global pool when the kernel is worth it, inline
@@ -75,7 +71,109 @@ class GemmReport {
   std::size_t flops_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Aliasing precondition of every GEMM kernel: the output may overlap
+/// neither input (rows are zero-filled and accumulated in place).
+[[maybe_unused]] bool disjoint(const float* a, std::size_t a_len,
+                               const float* b, std::size_t b_len) {
+  const auto a0 = reinterpret_cast<std::uintptr_t>(a);
+  const auto b0 = reinterpret_cast<std::uintptr_t>(b);
+  return a0 + a_len * sizeof(float) <= b0 ||
+         b0 + b_len * sizeof(float) <= a0;
+}
+
+/// Packed-path executor shared by the three transpose configurations.
+void run_packed(const kernels::KernelTable& kt, const float* a,
+                std::size_t a_row_stride, std::size_t a_p_stride,
+                const PackedB& bp, Matrix& out, std::size_t m,
+                std::size_t macs) {
+  assert(reinterpret_cast<std::uintptr_t>(bp.data()) % simd::kAlignment ==
+             0 &&
+         "packed panels must be cache-line aligned");
+  kernels::PackedGemmArgs args;
+  args.a = a;
+  args.a_row_stride = a_row_stride;
+  args.a_p_stride = a_p_stride;
+  args.bp = bp.data();
+  args.c = out.flat().data();
+  args.ldc = out.cols();
+  args.k = bp.k();
+  args.n = bp.n();
+  for_each_row_block(m, macs, [&](std::size_t r0, std::size_t r1) {
+    kt.gemm_packed_rows(args, r0, r1);
+  });
+}
+
+void run_rows(void (*kernel)(const kernels::GemmRowArgs&, std::size_t,
+                             std::size_t),
+              const kernels::GemmRowArgs& args, std::size_t m,
+              std::size_t macs) {
+  for_each_row_block(m, macs, [&](std::size_t r0, std::size_t r1) {
+    kernel(args, r0, r1);
+  });
+}
 }  // namespace
+
+bool gemm_uses_packed() { return kernels::active_table().prefer_packed; }
+
+void pack_b_panels(ConstMatrixView b, PackedB& out, std::uint64_t version) {
+  constexpr std::size_t pc = kernels::kPanelCols;
+  const std::size_t k = b.rows(), n = b.cols();
+  const std::size_t panels = (n + pc - 1) / pc;
+  out.data_.resize(panels * k * pc);
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    float* panel = out.data_.data() + jp * k * pc;
+    const std::size_t j0 = jp * pc;
+    const std::size_t cols = std::min(pc, n - j0);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* src = b.row(p).data() + j0;
+      float* dst = panel + p * pc;
+      std::copy_n(src, cols, dst);
+      std::fill_n(dst + cols, pc - cols, 0.0f);  // zero-padded tail
+    }
+  }
+  out.k_ = k;
+  out.n_ = n;
+  out.version_ = version;
+}
+
+void pack_bt_panels(const Matrix& b, PackedB& out) {
+  // Effective operand is bᵀ: panels hold columns of bᵀ, i.e. rows of b,
+  // gathered with a transposing copy (sequential reads of each b row,
+  // 16-strided writes into the panel).
+  constexpr std::size_t pc = kernels::kPanelCols;
+  const std::size_t k = b.cols(), n = b.rows();
+  const std::size_t panels = (n + pc - 1) / pc;
+  out.data_.resize(panels * k * pc);
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    float* panel = out.data_.data() + jp * k * pc;
+    const std::size_t j0 = jp * pc;
+    const std::size_t cols = std::min(pc, n - j0);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float* src = b.row(j0 + c).data();
+      for (std::size_t p = 0; p < k; ++p) panel[p * pc + c] = src[p];
+    }
+    for (std::size_t c = cols; c < pc; ++c) {
+      for (std::size_t p = 0; p < k; ++p) panel[p * pc + c] = 0.0f;
+    }
+  }
+  out.k_ = k;
+  out.n_ = n;
+  out.version_ = 0;
+}
+
+void gemm_ab_packed(ConstMatrixView a, const PackedB& bp, Matrix& out) {
+  check(a.cols() == bp.k(), "gemm_ab: inner dimension mismatch");
+  check(out.rows() == a.rows() && out.cols() == bp.n(),
+        "gemm_ab: output shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = bp.n();
+  if (m == 0 || n == 0) return;
+  assert(disjoint(out.flat().data(), out.size(), a.data(), m * k));
+  const std::size_t macs = m * k * n;
+  const GemmReport report(macs, macs >= kParallelMacs);
+  run_packed(kernels::active_table(), a.data(), /*a_row_stride=*/k,
+             /*a_p_stride=*/1, bp, out, m, macs);
+}
 
 void gemm_ab(ConstMatrixView a, const Matrix& b, Matrix& out) {
   check(a.cols() == b.rows(), "gemm_ab: inner dimension mismatch");
@@ -83,49 +181,30 @@ void gemm_ab(ConstMatrixView a, const Matrix& b, Matrix& out) {
         "gemm_ab: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (m == 0 || n == 0) return;
+  assert(disjoint(out.flat().data(), out.size(), a.data(), m * k));
+  assert(disjoint(out.flat().data(), out.size(), b.flat().data(), b.size()));
   const std::size_t macs = m * k * n;
   const GemmReport report(macs, macs >= kParallelMacs);
-  for_each_row_block(m, macs, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      std::fill_n(out.row(i).data(), n, 0.0f);
-    }
-    for (std::size_t p0 = 0; p0 < k; p0 += kKBlock) {
-      const std::size_t p1 = std::min(k, p0 + kKBlock);
-      // Four output rows at a time: each B row loaded from cache is
-      // reused across four independent accumulation chains.
-      std::size_t i = r0;
-      for (; i + 4 <= r1; i += 4) {
-        const float* a0 = a.row(i).data();
-        const float* a1 = a.row(i + 1).data();
-        const float* a2 = a.row(i + 2).data();
-        const float* a3 = a.row(i + 3).data();
-        float* o0 = out.row(i).data();
-        float* o1 = out.row(i + 1).data();
-        float* o2 = out.row(i + 2).data();
-        float* o3 = out.row(i + 3).data();
-        for (std::size_t p = p0; p < p1; ++p) {
-          const float* b_row = b.row(p).data();
-          const float av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
-          for (std::size_t j = 0; j < n; ++j) {
-            const float bv = b_row[j];
-            o0[j] += av0 * bv;
-            o1[j] += av1 * bv;
-            o2[j] += av2 * bv;
-            o3[j] += av3 * bv;
-          }
-        }
-      }
-      for (; i < r1; ++i) {
-        const float* a_row = a.row(i).data();
-        float* out_row = out.row(i).data();
-        for (std::size_t p = p0; p < p1; ++p) {
-          const float av = a_row[p];
-          const float* b_row = b.row(p).data();
-          for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-        }
-      }
-    }
-  });
+  const kernels::KernelTable& kt = kernels::active_table();
+  if (kt.prefer_packed) {
+    // Packing happens on the caller thread before any row-block fan-out;
+    // the scratch is reused (and regrown monotonically) across calls.
+    thread_local PackedB scratch;
+    pack_b_panels(b, scratch, /*version=*/0);
+    run_packed(kt, a.data(), /*a_row_stride=*/k, /*a_p_stride=*/1, scratch,
+               out, m, macs);
+    return;
+  }
+  kernels::GemmRowArgs args;
+  args.a = a.data();
+  args.lda = k;
+  args.b = b.flat().data();
+  args.ldb = n;
+  args.c = out.flat().data();
+  args.ldc = n;
+  args.k = k;
+  args.n = n;
+  run_rows(kt.gemm_ab_rows, args, m, macs);
 }
 
 void gemm_atb(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -134,46 +213,29 @@ void gemm_atb(const Matrix& a, const Matrix& b, Matrix& out) {
         "gemm_atb: output shape mismatch");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (m == 0 || n == 0) return;
+  assert(disjoint(out.flat().data(), out.size(), a.flat().data(), a.size()));
+  assert(disjoint(out.flat().data(), out.size(), b.flat().data(), b.size()));
   const std::size_t macs = m * k * n;
   const GemmReport report(macs, macs >= kParallelMacs);
-  for_each_row_block(m, macs, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      std::fill_n(out.row(i).data(), n, 0.0f);
-    }
-    for (std::size_t p0 = 0; p0 < k; p0 += kKBlock) {
-      const std::size_t p1 = std::min(k, p0 + kKBlock);
-      // Same four-row micro-kernel as gemm_ab; the A element for output
-      // row i sits at a.row(p)[i] because A enters transposed.
-      std::size_t i = r0;
-      for (; i + 4 <= r1; i += 4) {
-        float* o0 = out.row(i).data();
-        float* o1 = out.row(i + 1).data();
-        float* o2 = out.row(i + 2).data();
-        float* o3 = out.row(i + 3).data();
-        for (std::size_t p = p0; p < p1; ++p) {
-          const float* a_row = a.row(p).data();
-          const float* b_row = b.row(p).data();
-          const float av0 = a_row[i], av1 = a_row[i + 1];
-          const float av2 = a_row[i + 2], av3 = a_row[i + 3];
-          for (std::size_t j = 0; j < n; ++j) {
-            const float bv = b_row[j];
-            o0[j] += av0 * bv;
-            o1[j] += av1 * bv;
-            o2[j] += av2 * bv;
-            o3[j] += av3 * bv;
-          }
-        }
-      }
-      for (; i < r1; ++i) {
-        float* out_row = out.row(i).data();
-        for (std::size_t p = p0; p < p1; ++p) {
-          const float av = a.row(p).data()[i];
-          const float* b_row = b.row(p).data();
-          for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-        }
-      }
-    }
-  });
+  const kernels::KernelTable& kt = kernels::active_table();
+  if (kt.prefer_packed) {
+    thread_local PackedB scratch;
+    pack_b_panels(b, scratch, /*version=*/0);
+    // A enters transposed: output row i reads column i of a.
+    run_packed(kt, a.flat().data(), /*a_row_stride=*/1, /*a_p_stride=*/m,
+               scratch, out, m, macs);
+    return;
+  }
+  kernels::GemmRowArgs args;
+  args.a = a.flat().data();
+  args.lda = m;
+  args.b = b.flat().data();
+  args.ldb = n;
+  args.c = out.flat().data();
+  args.ldc = n;
+  args.k = k;
+  args.n = n;
+  run_rows(kt.gemm_atb_rows, args, m, macs);
 }
 
 void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -182,11 +244,22 @@ void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out) {
         "gemm_abt: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (m == 0 || n == 0) return;
+  assert(disjoint(out.flat().data(), out.size(), a.flat().data(), a.size()));
+  assert(disjoint(out.flat().data(), out.size(), b.flat().data(), b.size()));
   const std::size_t macs = m * k * n;
+  const kernels::KernelTable& kt = kernels::active_table();
+  if (kt.prefer_packed) {
+    const GemmReport report(macs, macs >= kParallelMacs);
+    thread_local PackedB scratch;
+    pack_bt_panels(b, scratch);
+    run_packed(kt, a.flat().data(), /*a_row_stride=*/k, /*a_p_stride=*/1,
+               scratch, out, m, macs);
+    return;
+  }
   if (macs >= kParallelMacs) {
     // Large multiplies: pack Bᵀ once — O(n·k) against O(m·n·k) compute —
     // so the inner loop walks contiguous memory and runs through the
-    // vectorized ab kernel instead of n serial dot-product reductions.
+    // blocked ab kernel instead of n serial dot-product reductions.
     Matrix bt(k, n);
     for (std::size_t j = 0; j < n; ++j) {
       const float* b_row = b.row(j).data();
@@ -196,59 +269,32 @@ void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out) {
     return;
   }
   const GemmReport report(macs, macs >= kParallelMacs);
-  for_each_row_block(m, macs, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t j0 = 0; j0 < n; j0 += kJBlock) {
-      const std::size_t j1 = std::min(n, j0 + kJBlock);
-      for (std::size_t i = r0; i < r1; ++i) {
-        const float* a_row = a.row(i).data();
-        float* out_row = out.row(i).data();
-        // Four dot products at a time: each A element loaded is reused
-        // across four independent reduction chains, which also breaks
-        // the serial-accumulation latency bound of a lone dot product.
-        std::size_t j = j0;
-        for (; j + 4 <= j1; j += 4) {
-          const float* b0 = b.row(j).data();
-          const float* b1 = b.row(j + 1).data();
-          const float* b2 = b.row(j + 2).data();
-          const float* b3 = b.row(j + 3).data();
-          float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-          for (std::size_t p = 0; p < k; ++p) {
-            const float av = a_row[p];
-            acc0 += av * b0[p];
-            acc1 += av * b1[p];
-            acc2 += av * b2[p];
-            acc3 += av * b3[p];
-          }
-          out_row[j] = acc0;
-          out_row[j + 1] = acc1;
-          out_row[j + 2] = acc2;
-          out_row[j + 3] = acc3;
-        }
-        for (; j < j1; ++j) {
-          const float* b_row = b.row(j).data();
-          float acc = 0.0f;
-          for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-          out_row[j] = acc;
-        }
-      }
-    }
-  });
+  kernels::GemmRowArgs args;
+  args.a = a.flat().data();
+  args.lda = k;
+  args.b = b.flat().data();
+  args.ldb = k;
+  args.c = out.flat().data();
+  args.ldc = n;
+  args.k = k;
+  args.n = n;
+  run_rows(kt.gemm_abt_rows, args, m, macs);
 }
 
 void add_row_bias(Matrix& m, std::span<const float> bias) {
   check(bias.size() == m.cols(), "add_row_bias: bias length mismatch");
+  const kernels::KernelTable& kt = kernels::active_table();
   for (std::size_t r = 0; r < m.rows(); ++r) {
-    float* row = m.row(r).data();
-    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+    kt.axpy(1.0f, bias.data(), m.row(r).data(), m.cols());
   }
 }
 
 void col_sum(const Matrix& m, std::span<float> out) {
   check(out.size() == m.cols(), "col_sum: output length mismatch");
   std::fill(out.begin(), out.end(), 0.0f);
+  const kernels::KernelTable& kt = kernels::active_table();
   for (std::size_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.row(r).data();
-    for (std::size_t c = 0; c < m.cols(); ++c) out[c] += row[c];
+    kt.axpy(1.0f, m.row(r).data(), out.data(), m.cols());
   }
 }
 
@@ -278,73 +324,6 @@ void argmax_rows_into(const Matrix& m, std::span<std::size_t> out) {
     out[r] = static_cast<std::size_t>(
         std::max_element(row.begin(), row.end()) - row.begin());
   }
-}
-
-void axpy(float alpha, std::span<const float> x, std::span<float> y) {
-  check(x.size() == y.size(), "axpy: length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
-}
-
-void scale(std::span<float> x, float alpha) {
-  for (float& v : x) v *= alpha;
-}
-
-float dot(std::span<const float> a, std::span<const float> b) {
-  check(a.size() == b.size(), "dot: length mismatch");
-  // Accumulate in double: parameter vectors reach ~10^5 entries and the
-  // cosine-similarity baselines (FoolsGold) are sensitive to cancellation.
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return static_cast<float>(acc);
-}
-
-float l2_norm(std::span<const float> x) {
-  double acc = 0.0;
-  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
-  return static_cast<float>(std::sqrt(acc));
-}
-
-float l2_distance(std::span<const float> a, std::span<const float> b) {
-  check(a.size() == b.size(), "l2_distance: length mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
-    acc += d * d;
-  }
-  return static_cast<float>(std::sqrt(acc));
-}
-
-float cosine_similarity(std::span<const float> a, std::span<const float> b) {
-  const float na = l2_norm(a), nb = l2_norm(b);
-  if (na == 0.0f || nb == 0.0f) return 0.0f;
-  return dot(a, b) / (na * nb);
-}
-
-std::vector<float> subtract(std::span<const float> a,
-                            std::span<const float> b) {
-  check(a.size() == b.size(), "subtract: length mismatch");
-  std::vector<float> out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
-  return out;
-}
-
-std::vector<float> add(std::span<const float> a, std::span<const float> b) {
-  check(a.size() == b.size(), "add: length mismatch");
-  std::vector<float> out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
-  return out;
-}
-
-std::vector<float> lerp(std::span<const float> a, std::span<const float> b,
-                        float t) {
-  check(a.size() == b.size(), "lerp: length mismatch");
-  std::vector<float> out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = (1.0f - t) * a[i] + t * b[i];
-  }
-  return out;
 }
 
 }  // namespace baffle

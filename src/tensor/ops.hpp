@@ -5,19 +5,91 @@
 //   forward:   Y  = X  W      -> gemm_ab
 //   dW:        dW = Xᵀ dY     -> gemm_atb
 //   dX:        dX = dY Wᵀ     -> gemm_abt
-// The kernels are cache-blocked over the inner dimension and split over
-// row blocks on the global thread pool once the multiply is large
-// enough to amortize the dispatch; small multiplies (the per-batch
-// training shapes) run inline on the caller. NaN/Inf inputs propagate
-// to the output — a diverged model must not be masked by a sparsity
-// shortcut. The A operand is taken as a view so callers can feed
-// row-chunks of a cached feature matrix without copying.
+// Each entry point dispatches between two kernel arms (see
+// tensor/simd.hpp): the scalar arm runs the cache-blocked row kernels
+// on the operands in place, the SIMD arm first packs B into
+// 64-byte-aligned column panels (thread_local scratch, reused across
+// calls) and runs FMA register-tile microkernels over them. Either way
+// the multiply is split over row blocks on the global thread pool once
+// it is large enough to amortize the dispatch; small multiplies (the
+// per-batch training shapes) run inline on the caller. NaN/Inf inputs
+// propagate to the output — a diverged model must not be masked by a
+// sparsity shortcut. The A operand is taken as a view so callers can
+// feed row-chunks of a cached feature matrix without copying.
+//
+// The flat-vector primitives (dot/axpy/norms/...) live in
+// tensor/primitives.hpp, included here so existing callers keep
+// compiling unchanged.
 
+#include <cstdint>
 #include <span>
 
+#include "tensor/aligned.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/primitives.hpp"
 
 namespace baffle {
+
+/// B operand packed into contiguous 16-column panels for the SIMD GEMM
+/// microkernels (layout described in tensor/kernels.hpp). Carries the
+/// owner's parameter version so a cached pack can be validated against
+/// the weights it was built from. Copying yields an empty pack — model
+/// clones repack on first use rather than paying the copy.
+class PackedB {
+ public:
+  PackedB() = default;
+  PackedB(const PackedB&) {}
+  PackedB& operator=(const PackedB&) {
+    clear();
+    return *this;
+  }
+  PackedB(PackedB&&) = default;
+  PackedB& operator=(PackedB&&) = default;
+
+  bool empty() const { return data_.empty(); }
+  std::size_t k() const { return k_; }
+  std::size_t n() const { return n_; }
+  const float* data() const { return data_.data(); }
+  std::uint64_t version() const { return version_; }
+
+  /// True when this pack was built from B of shape (k, n) at parameter
+  /// version `version` (0 never matches: it marks "never packed").
+  bool valid_for(std::size_t k, std::size_t n, std::uint64_t version) const {
+    return version != 0 && version_ == version && k_ == k && n_ == n &&
+           !data_.empty();
+  }
+
+  void clear() {
+    data_.clear();
+    k_ = n_ = 0;
+    version_ = 0;
+  }
+
+ private:
+  friend void pack_b_panels(ConstMatrixView b, PackedB& out,
+                            std::uint64_t version);
+  friend void pack_bt_panels(const Matrix& b, PackedB& out);
+
+  AlignedFloatVec data_;
+  std::size_t k_ = 0;
+  std::size_t n_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+/// True when the active kernel arm wants packed-B GEMM (the SIMD arm).
+/// Dense uses this to decide whether maintaining its weight pack is
+/// worth anything.
+bool gemm_uses_packed();
+
+/// Packs B (k x n, natural layout) into panels; tag with `version` so
+/// valid_for() can match it later (pass 0 for throwaway packs).
+void pack_b_panels(ConstMatrixView b, PackedB& out, std::uint64_t version);
+
+/// Packs Bᵀ for gemm_abt: b is (n, k) and the panels hold its columns.
+void pack_bt_panels(const Matrix& b, PackedB& out);
+
+/// out = a * bp where bp packs B (k,n). Shapes: (m,k) x (k,n) -> (m,n).
+void gemm_ab_packed(ConstMatrixView a, const PackedB& bp, Matrix& out);
 
 /// out = a * b. Shapes: (m,k) x (k,n) -> (m,n).
 void gemm_ab(ConstMatrixView a, const Matrix& b, Matrix& out);
@@ -43,28 +115,5 @@ std::vector<std::size_t> argmax_rows(const Matrix& m);
 /// Index of the max entry of each row, written into out (out.size() ==
 /// m.rows()). Allocation-free variant for the chunked inference path.
 void argmax_rows_into(const Matrix& m, std::span<std::size_t> out);
-
-// --- flat-vector (parameter-space) helpers ----------------------------
-
-/// y += alpha * x
-void axpy(float alpha, std::span<const float> x, std::span<float> y);
-
-/// x *= alpha
-void scale(std::span<float> x, float alpha);
-
-float dot(std::span<const float> a, std::span<const float> b);
-float l2_norm(std::span<const float> x);
-float l2_distance(std::span<const float> a, std::span<const float> b);
-float cosine_similarity(std::span<const float> a, std::span<const float> b);
-
-/// out = a - b (allocating).
-std::vector<float> subtract(std::span<const float> a, std::span<const float> b);
-
-/// out = a + b (allocating).
-std::vector<float> add(std::span<const float> a, std::span<const float> b);
-
-/// out = (1 - t) * a + t * b (allocating).
-std::vector<float> lerp(std::span<const float> a, std::span<const float> b,
-                        float t);
 
 }  // namespace baffle

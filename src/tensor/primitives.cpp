@@ -1,0 +1,149 @@
+#include "tensor/primitives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/kernels.hpp"
+
+namespace baffle {
+
+namespace {
+void check(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  check(x.size() == y.size(), "axpy: length mismatch");
+  kernels::active_table().axpy(alpha, x.data(), y.data(), x.size());
+}
+
+void scale(std::span<float> x, float alpha) {
+  kernels::active_table().scale(x.data(), alpha, x.size());
+}
+
+void scale_add(std::span<float> y, float beta, std::span<const float> x,
+               float alpha) {
+  check(x.size() == y.size(), "scale_add: length mismatch");
+  kernels::active_table().scale_add(y.data(), beta, x.data(), alpha,
+                                    x.size());
+}
+
+void scale_into(std::span<float> out, float alpha, std::span<const float> x) {
+  check(out.size() == x.size(), "scale_into: length mismatch");
+  kernels::active_table().scale_into(out.data(), alpha, x.data(), x.size());
+}
+
+void abs_into(std::span<float> out, std::span<const float> x) {
+  check(out.size() == x.size(), "abs_into: length mismatch");
+  kernels::active_table().abs_into(out.data(), x.data(), x.size());
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  check(a.size() == b.size(), "dot: length mismatch");
+  return static_cast<float>(
+      kernels::active_table().dot(a.data(), b.data(), a.size()));
+}
+
+float l2_norm(std::span<const float> x) {
+  // sqrt in double, then round: matches the pre-SIMD l2_norm exactly.
+  return static_cast<float>(
+      std::sqrt(kernels::active_table().squared_l2(x.data(), x.size())));
+}
+
+float l2_distance(std::span<const float> a, std::span<const float> b) {
+  check(a.size() == b.size(), "l2_distance: length mismatch");
+  return static_cast<float>(std::sqrt(
+      kernels::active_table().squared_l2_distance(a.data(), b.data(),
+                                                  a.size())));
+}
+
+float squared_l2_distance(std::span<const float> a,
+                          std::span<const float> b) {
+  check(a.size() == b.size(), "squared_l2_distance: length mismatch");
+  return static_cast<float>(kernels::active_table().squared_l2_distance(
+      a.data(), b.data(), a.size()));
+}
+
+float cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  check(a.size() == b.size(), "cosine_similarity: length mismatch");
+  return kernels::active_table().cosine_similarity(a.data(), b.data(),
+                                                   a.size());
+}
+
+void relu_forward(std::span<float> x) {
+  kernels::active_table().relu_forward(x.data(), x.size());
+}
+
+void relu_backward(std::span<const float> activated, std::span<float> grad) {
+  check(activated.size() == grad.size(), "relu_backward: length mismatch");
+  kernels::active_table().relu_backward(activated.data(), grad.data(),
+                                        grad.size());
+}
+
+void add_u64(std::span<std::uint64_t> acc, std::span<const std::uint64_t> x) {
+  check(acc.size() == x.size(), "add_u64: length mismatch");
+  kernels::active_table().add_u64(acc.data(), x.data(), x.size());
+}
+
+double sum(std::span<const double> xs) {
+  return kernels::active_table().sum_d(xs.data(), xs.size());
+}
+
+double sum_sq_diff(std::span<const double> xs, double center) {
+  return kernels::active_table().sum_sq_diff_d(xs.data(), center, xs.size());
+}
+
+double softmax_xent_rows(Matrix& probs_grad, std::span<const int> labels) {
+  // Arithmetic is kept operation-for-operation identical to the old
+  // copy -> softmax_rows -> loss/grad pipeline (stabilized exp, the
+  // same two division passes), so loss trajectories don't shift when
+  // this fused form took over.
+  const kernels::KernelTable& kt = kernels::active_table();
+  const auto batch = static_cast<float>(probs_grad.rows());
+  const std::size_t n = probs_grad.cols();
+  double loss = 0.0;
+  for (std::size_t r = 0; r < probs_grad.rows(); ++r) {
+    float* x = probs_grad.row(r).data();
+    const float mx = kt.max_value(x, n);
+    float total = 0.0f;
+    for (std::size_t c = 0; c < n; ++c) {
+      x[c] = std::exp(x[c] - mx);
+      total += x[c];
+    }
+    for (std::size_t c = 0; c < n; ++c) x[c] /= total;
+    const auto y = static_cast<std::size_t>(labels[r]);
+    loss -= std::log(std::max(x[y], 1e-12f));
+    for (std::size_t c = 0; c < n; ++c) x[c] /= batch;
+    x[y] -= 1.0f / batch;
+  }
+  return loss / batch;
+}
+
+std::vector<float> subtract(std::span<const float> a,
+                            std::span<const float> b) {
+  check(a.size() == b.size(), "subtract: length mismatch");
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<float> add(std::span<const float> a, std::span<const float> b) {
+  check(a.size() == b.size(), "add: length mismatch");
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<float> lerp(std::span<const float> a, std::span<const float> b,
+                        float t) {
+  check(a.size() == b.size(), "lerp: length mismatch");
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = (1.0f - t) * a[i] + t * b[i];
+  }
+  return out;
+}
+
+}  // namespace baffle

@@ -1,0 +1,72 @@
+#pragma once
+// Shared flat-vector primitives, dispatched to the scalar or SIMD
+// kernel arm at runtime (see tensor/simd.hpp for the dispatch rules).
+//
+// These are the loops that used to be re-implemented ad hoc across the
+// SGD step, secure-aggregation masking, the top-k compression codec and
+// every robust-aggregation baseline. The reductions (dot/norm/distance
+// family) accumulate in double regardless of arm; the scalar arm
+// reproduces the pre-SIMD arithmetic exactly, the vector arm differs
+// only by reassociation/FMA rounding.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace baffle {
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha
+void scale(std::span<float> x, float alpha);
+
+/// y = beta * y + alpha * x  (the SGD momentum update with beta =
+/// momentum, alpha = 1).
+void scale_add(std::span<float> y, float beta, std::span<const float> x,
+               float alpha);
+
+/// out = alpha * x
+void scale_into(std::span<float> out, float alpha, std::span<const float> x);
+
+/// out = |x| elementwise.
+void abs_into(std::span<float> out, std::span<const float> x);
+
+float dot(std::span<const float> a, std::span<const float> b);
+float l2_norm(std::span<const float> x);
+float l2_distance(std::span<const float> a, std::span<const float> b);
+/// ||a - b||^2 without the sqrt-then-square round trip (Krum's scores).
+float squared_l2_distance(std::span<const float> a, std::span<const float> b);
+float cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// x = max(x, 0) elementwise; NaN passes through.
+void relu_forward(std::span<float> x);
+/// grad zeroed where the activated output is <= 0.
+void relu_backward(std::span<const float> activated, std::span<float> grad);
+
+/// acc += x elementwise in Z_2^64 (secure-aggregation mask sums).
+void add_u64(std::span<std::uint64_t> acc, std::span<const std::uint64_t> x);
+
+double sum(std::span<const double> xs);
+/// Sum of (x - center)^2 — the stddev inner loop.
+double sum_sq_diff(std::span<const double> xs, double center);
+
+/// Fused row-softmax + mean cross-entropy + gradient. On entry
+/// `probs_grad` holds the logits; on exit it holds dL/dlogits for the
+/// mean loss, which is returned. Labels must be pre-validated by the
+/// caller (nn/loss.cpp keeps the error messages).
+double softmax_xent_rows(Matrix& probs_grad, std::span<const int> labels);
+
+/// out = a - b (allocating).
+std::vector<float> subtract(std::span<const float> a, std::span<const float> b);
+
+/// out = a + b (allocating).
+std::vector<float> add(std::span<const float> a, std::span<const float> b);
+
+/// out = (1 - t) * a + t * b (allocating).
+std::vector<float> lerp(std::span<const float> a, std::span<const float> b,
+                        float t);
+
+}  // namespace baffle

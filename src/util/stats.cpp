@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
+
+// The util layer sits below tensor, so it reaches the dispatched sum
+// kernels through the table directly instead of tensor/primitives.hpp.
+#include "tensor/kernels.hpp"
 
 namespace baffle {
 
 double mean(std::span<const double> xs) {
   if (xs.empty()) throw std::invalid_argument("mean: empty input");
-  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+  return kernels::active_table().sum_d(xs.data(), xs.size()) /
          static_cast<double>(xs.size());
 }
 
@@ -17,9 +20,9 @@ double stddev(std::span<const double> xs) {
   if (xs.empty()) throw std::invalid_argument("stddev: empty input");
   if (xs.size() == 1) return 0.0;
   const double m = mean(xs);
-  double acc = 0.0;
-  for (double x : xs) acc += (x - m) * (x - m);
-  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+  return std::sqrt(kernels::active_table().sum_sq_diff_d(xs.data(), m,
+                                                         xs.size()) /
+                   static_cast<double>(xs.size() - 1));
 }
 
 double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 
@@ -88,6 +91,44 @@ TEST(Compression, ConstantVectorHandled) {
   const ParamVec params(50, 2.5f);  // zero range
   const ParamVec restored = decompress_topk(compress_topk(params, 1.0));
   for (float x : restored) EXPECT_FLOAT_EQ(x, 2.5f);
+}
+
+TEST(Compression, TinyVectorsRoundTrip) {
+  // Fewer parameters than one SIMD lane: the abs_into magnitude pass
+  // and the codec must handle sub-vector tails.
+  for (std::size_t n : {1u, 2u, 7u}) {
+    Rng rng(10 + n);
+    const ParamVec params = random_params(n, rng);
+    const ParamVec restored = decompress_topk(compress_topk(params, 1.0));
+    ASSERT_EQ(restored.size(), n);
+    float range = 0.0f;
+    for (float x : params) range = std::max(range, std::abs(x));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(restored[i], params[i], 2.0f * range / 255.0f + 1e-6f)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Compression, DenormalValuesHandled) {
+  // Denormal magnitudes must neither crash the quantizer nor win the
+  // top-k ranking over normal-range entries.
+  ParamVec params(20, std::numeric_limits<float>::denorm_min());
+  params[3] = 1.0f;
+  params[11] = -2.0f;
+  const ParamVec restored =
+      decompress_topk(compress_topk(params, 0.1));  // keep 2
+  EXPECT_NEAR(restored[3], 1.0f, 0.05f);
+  EXPECT_NEAR(restored[11], -2.0f, 0.05f);
+  EXPECT_EQ(restored[0], 0.0f);
+
+  // All-denormal input: range collapses toward zero, round trip must
+  // still produce finite values.
+  ParamVec tiny(16, std::numeric_limits<float>::denorm_min());
+  tiny[1] = -std::numeric_limits<float>::denorm_min();
+  const ParamVec tiny_restored = decompress_topk(compress_topk(tiny, 1.0));
+  ASSERT_EQ(tiny_restored.size(), tiny.size());
+  for (float x : tiny_restored) EXPECT_TRUE(std::isfinite(x));
 }
 
 TEST(Compression, ErrorBoundIsSmall) {

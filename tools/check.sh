@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
-# Strict local CI gate: warnings-as-errors build + full test suite, plus an
-# optional ThreadSanitizer stage over the concurrency-heavy targets.
+# Strict local CI gate: warnings-as-errors build + full test suite (on
+# both kernel-dispatch arms), plus optional sanitizer stages.
 #
 # Usage:
-#   tools/check.sh            # strict build + ctest
+#   tools/check.sh            # strict build + ctest + forced-scalar ctest
 #   tools/check.sh --tsan     # also build with -fsanitize=thread and run
 #                             # the tensor/core suites under TSan
+#   tools/check.sh --ubsan    # also build with -fsanitize=undefined and
+#                             # run the numeric suites on both arms
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TSAN=0
+RUN_UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
+    --ubsan) RUN_UBSAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -23,8 +27,14 @@ echo "== strict build (BAFFLE_STRICT=ON) =="
 cmake -B build-strict -S . -DBAFFLE_STRICT=ON
 cmake --build build-strict -j "$JOBS"
 
-echo "== tests =="
+echo "== tests (dispatched kernels) =="
 ctest --test-dir build-strict --output-on-failure -j "$JOBS"
+
+echo "== tests (BAFFLE_FORCE_SCALAR=1) =="
+# The scalar arm must stay a drop-in replacement: every numeric outcome
+# the suite checks has to hold with SIMD dispatch pinned off.
+BAFFLE_FORCE_SCALAR=1 ctest --test-dir build-strict --output-on-failure \
+  -j "$JOBS"
 
 if [[ "$RUN_TSAN" -eq 1 ]]; then
   echo "== ThreadSanitizer (BAFFLE_TSAN=ON) =="
@@ -39,6 +49,18 @@ if [[ "$RUN_TSAN" -eq 1 ]]; then
   BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_util
   BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_fl
   BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_exp
+fi
+
+if [[ "$RUN_UBSAN" -eq 1 ]]; then
+  echo "== UndefinedBehaviorSanitizer (BAFFLE_UBSAN=ON) =="
+  cmake -B build-ubsan -S . -DBAFFLE_UBSAN=ON
+  cmake --build build-ubsan -j "$JOBS" --target test_tensor test_nn
+  # Both dispatch arms: the packed SIMD microkernels and the legacy
+  # scalar loops each get a pass over the numeric suites.
+  ./build-ubsan/tests/test_tensor
+  ./build-ubsan/tests/test_nn
+  BAFFLE_FORCE_SCALAR=1 ./build-ubsan/tests/test_tensor
+  BAFFLE_FORCE_SCALAR=1 ./build-ubsan/tests/test_nn
 fi
 
 echo "check.sh: all stages passed"
