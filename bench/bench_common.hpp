@@ -4,12 +4,30 @@
 // pin the common experimental setup of §VI-A/§VI-B so benches differ
 // only in the parameter being swept.
 
+#include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 #include "util/csv.hpp"
+
+namespace baffle {
+
+/// Bench-run header. Lives with the benches (not exp/report) because
+/// library code keeps no console I/O; every bench owns its stdout.
+inline void print_banner(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "==============================================\n"
+            << title << '\n'
+            << "reproduces: " << paper_ref << '\n'
+            << "reps=" << bench_reps() << (bench_fast() ? " (fast mode)" : "")
+            << '\n'
+            << "==============================================\n";
+}
+
+}  // namespace baffle
 
 namespace baffle::bench {
 

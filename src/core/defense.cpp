@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
 
 namespace baffle {
@@ -11,11 +12,11 @@ BaffleDefense::BaffleDefense(MlpConfig arch, FeedbackConfig config,
     : arch_(std::move(arch)),
       config_(config),
       history_(config.validator.lookback + 1) {
+  BAFFLE_CHECK(config.quorum >= 1,
+               "quorum must require at least one poisoned vote");
   const bool needs_server = config.mode != DefenseMode::kClientsOnly;
-  if (needs_server && server_holdout.empty()) {
-    throw std::invalid_argument(
-        "BaffleDefense: server holdout required for this mode");
-  }
+  BAFFLE_CHECK(!needs_server || !server_holdout.empty(),
+               "server validation modes need a server holdout");
   if (!server_holdout.empty()) {
     server_validator_.emplace(std::move(server_holdout), arch_,
                               config.server_validator());
@@ -59,6 +60,8 @@ FeedbackDecision BaffleDefense::evaluate(
     const std::unordered_set<std::size_t>& malicious_ids,
     VoteStrategy strategy) {
   const std::vector<GlobalModel> window = current_window();
+  BAFFLE_DCHECK(window.size() <= config_.validator.lookback + 1,
+                "validators receive at most the last l+1 accepted models");
 
   // Materialize validators serially (map mutation), then vote in
   // parallel (independent objects).

@@ -1,15 +1,15 @@
 #include "core/error_variation.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace baffle {
 
 VariationPoint error_variation(const ConfusionMatrix& older,
                                const ConfusionMatrix& newer) {
-  if (older.num_classes() != newer.num_classes()) {
-    throw std::invalid_argument("error_variation: class count mismatch");
-  }
+  BAFFLE_CHECK(older.num_classes() == newer.num_classes(),
+               "error_variation operands must share the class set");
   const auto src_old = older.source_focused_errors();
   const auto src_new = newer.source_focused_errors();
   const auto tgt_old = older.target_focused_errors();
@@ -22,13 +22,14 @@ VariationPoint error_variation(const ConfusionMatrix& older,
   for (std::size_t y = 0; y < older.num_classes(); ++y) {
     v.push_back(tgt_old[y] - tgt_new[y]);
   }
+  BAFFLE_DCHECK(v.size() == 2 * older.num_classes(),
+                "variation point must have 2|Y| components");
   return v;
 }
 
 double variation_distance(const VariationPoint& a, const VariationPoint& b) {
-  if (a.size() != b.size()) {
-    throw std::invalid_argument("variation_distance: dim mismatch");
-  }
+  BAFFLE_CHECK(a.size() == b.size(),
+               "variation_distance operands must share a dimension");
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = a[i] - b[i];

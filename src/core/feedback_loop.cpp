@@ -1,7 +1,8 @@
 #include "core/feedback_loop.hpp"
 
 #include <numeric>
-#include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace baffle {
 
@@ -18,9 +19,13 @@ FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
                                const std::vector<int>& votes,
                                const std::vector<std::size_t>& voter_ids,
                                int server_vote, bool server_abstained) {
-  if (votes.size() != voter_ids.size()) {
-    throw std::invalid_argument("decide_quorum: votes/ids mismatch");
+  BAFFLE_CHECK(votes.size() == voter_ids.size(),
+               "every vote needs a voter id and vice versa");
+#if defined(BAFFLE_CHECKS) && BAFFLE_CHECKS
+  for (int v : votes) {
+    BAFFLE_DCHECK(v == 0 || v == 1, "votes are binary: 0 clean, 1 poisoned");
   }
+#endif
   FeedbackDecision decision;
   decision.client_votes = votes;
   decision.client_ids = voter_ids;
@@ -52,6 +57,30 @@ FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
   decision.reject_votes = reject_votes;
   decision.reject = reject_votes >= quorum;
   return decision;
+}
+
+void validate_feedback_config(const FeedbackConfig& config,
+                              std::size_t clients_per_round) {
+  BAFFLE_CHECK(config.quorum >= 1,
+               "quorum must require at least one poisoned vote");
+  if (config.mode != DefenseMode::kServerOnly) {
+    // n voting clients, plus the server's vote in the combined mode: a
+    // quorum above that can never be reached, which silently disables
+    // rejection ("no backdoor" verdicts forever).
+    const std::size_t max_voters =
+        clients_per_round +
+        (config.mode == DefenseMode::kClientsAndServer ? 1 : 0);
+    BAFFLE_CHECK(config.quorum <= max_voters,
+                 "quorum q must be reachable by a full round of voters");
+  }
+  BAFFLE_CHECK(config.validator.lookback >= 2,
+               "look-back window must cover at least 2 accepted models");
+  BAFFLE_CHECK(config.validator.min_variations >= 1,
+               "abstention threshold must require at least one variation");
+  BAFFLE_CHECK(config.validator.tau_margin > 0.0,
+               "tau margin must be positive");
+  BAFFLE_CHECK(config.server_tau_margin > 0.0,
+               "server tau margin must be positive");
 }
 
 }  // namespace baffle

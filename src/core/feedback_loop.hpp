@@ -61,4 +61,13 @@ FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
                                int server_vote,
                                bool server_abstained = false);
 
+/// Validates a defender configuration against the round size n it will
+/// run with (Algorithm 1's q <= n, plus the window/threshold sanity the
+/// validator depends on). Throws ContractViolation on a bad config.
+/// Dropout may still leave an individual round with fewer than q voters
+/// - per the paper's footnote 1 those rounds accept by default - so
+/// this is a configuration-time contract, not a per-round one.
+void validate_feedback_config(const FeedbackConfig& config,
+                              std::size_t clients_per_round);
+
 }  // namespace baffle

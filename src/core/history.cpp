@@ -2,15 +2,23 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace baffle {
 
 ModelHistory::ModelHistory(std::size_t capacity) : capacity_(capacity) {
-  if (capacity == 0) throw std::invalid_argument("ModelHistory: capacity 0");
+  // Algorithm 1 ships the last ℓ+1 accepted models to validators, so a
+  // history that cannot retain even one snapshot is a config bug.
+  BAFFLE_CHECK(capacity > 0, "ModelHistory capacity must be positive");
 }
 
 void ModelHistory::push(std::uint64_t version, ParamVec params) {
+  BAFFLE_DCHECK(entries_.empty() || version > entries_.back().version,
+                "committed model versions must be strictly increasing");
   entries_.push_back(GlobalModel{version, std::move(params)});
   while (entries_.size() > capacity_) entries_.pop_front();
+  BAFFLE_DCHECK(entries_.size() <= capacity_,
+                "history retention must stay within capacity");
 }
 
 std::vector<GlobalModel> ModelHistory::window(std::size_t count) const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace baffle {
 
 namespace {
@@ -39,10 +41,11 @@ Neighborhood knn(const VariationPoint& point,
 
 double lof_score(const VariationPoint& query,
                  std::span<const VariationPoint> reference, std::size_t k) {
-  if (reference.size() < 2) {
-    throw std::invalid_argument("lof_score: need >= 2 reference points");
-  }
+  BAFFLE_CHECK(reference.size() >= 2,
+               "lof_score needs at least 2 reference points");
   k = std::max<std::size_t>(1, std::min(k, reference.size() - 1));
+  BAFFLE_DCHECK(k >= 1 && k <= reference.size() - 1,
+                "clamped k must leave a non-empty strict neighborhood");
 
   // k-distance of every reference point, within the reference set.
   std::vector<Neighborhood> ref_nb;
@@ -52,6 +55,8 @@ double lof_score(const VariationPoint& query,
   }
 
   auto lrd = [&](const VariationPoint& p, const Neighborhood& nb) {
+    BAFFLE_DCHECK(!nb.ids.empty(),
+                  "local reachability density needs a non-empty neighborhood");
     double total = 0.0;
     for (std::size_t j : nb.ids) {
       const double d = variation_distance(p, reference[j]);
@@ -64,6 +69,8 @@ double lof_score(const VariationPoint& query,
 
   const Neighborhood query_nb =
       knn(query, reference, k, /*skip=*/static_cast<std::size_t>(-1));
+  BAFFLE_DCHECK(query_nb.ids.size() == k,
+                "query neighborhood must hold exactly k reference points");
   const double query_lrd = lrd(query, query_nb);
 
   double neighbor_lrd_sum = 0.0;

@@ -1,8 +1,8 @@
 #include "core/validate.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/metrics.hpp"
 #include "util/stats.hpp"
 
@@ -27,12 +27,11 @@ std::size_t tau_window_for_lookback(std::size_t lookback) {
 
 Validator::Validator(Dataset data, MlpConfig arch, ValidatorConfig config)
     : data_(std::move(data)), config_(config), scratch_model_(arch) {
-  if (config.lookback < 2) {
-    throw std::invalid_argument("Validator: lookback < 2");
-  }
-  if (data_.empty()) {
-    throw std::invalid_argument("Validator: empty validation data");
-  }
+  BAFFLE_CHECK(config.lookback >= 2,
+               "look-back window must cover at least 2 accepted models");
+  BAFFLE_CHECK(config.min_variations >= 1,
+               "abstention threshold must require at least one variation");
+  BAFFLE_CHECK(!data_.empty(), "validator needs a non-empty dataset");
 }
 
 ConfusionMatrix Validator::evaluate_params(const ParamVec& params) {
@@ -121,14 +120,21 @@ ValidationOutcome Validator::validate(const ParamVec& candidate,
   }
 
   const std::size_t ell = variations.size();  // effective look-back
+  BAFFLE_DCHECK(ell <= config_.lookback,
+                "a window of m models yields at most l variation points");
   const std::size_t k = lof_k_for_lookback(ell);
+  BAFFLE_DCHECK(k == (ell + 1) / 2, "Algorithm 2 fixes k = ceil(l/2)");
   const std::size_t tau_window =
       std::max<std::size_t>(1, tau_window_for_lookback(ell));
+  BAFFLE_DCHECK(tau_window <= ell,
+                "tau is calibrated on trusted points inside the window");
 
   // Candidate's variation point v_{ℓ+1} = v(𝒢^ℓ, G, D).
   const ConfusionMatrix candidate_cm = evaluate_params(candidate);
   const VariationPoint candidate_point =
       error_variation(evaluate_history(history.back()), candidate_cm);
+  BAFFLE_DCHECK(candidate_point.size() == variations.front().size(),
+                "candidate and history variation points must share a dim");
 
   // τ = mean LOF of the last ⌊ℓ/4⌋ trusted points. Each is scored
   // leave-one-out against the remaining ℓ−1 variations so its reference

@@ -149,6 +149,12 @@ void ensure_members(std::vector<std::size_t>& ids,
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 std::uint64_t seed) {
+  // Fail on impossible defender configs (q unreachable, degenerate
+  // window) before any training happens.
+  if (config.defense_enabled) {
+    validate_feedback_config(config.feedback,
+                             config.scenario.clients_per_round);
+  }
   Rng rng(seed);
   Scenario scenario = build_scenario(config.scenario, rng);
   FlServer server(scenario.arch, scenario.fl, rng.next_u64());

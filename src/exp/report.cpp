@@ -1,7 +1,6 @@
 #include "exp/report.hpp"
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -71,15 +70,6 @@ std::size_t bench_reps() {
 bool bench_fast() {
   const char* env = std::getenv("BAFFLE_BENCH_FAST");
   return env != nullptr && env[0] == '1';
-}
-
-void print_banner(const std::string& title, const std::string& paper_ref) {
-  std::cout << "==============================================\n"
-            << title << '\n'
-            << "reproduces: " << paper_ref << '\n'
-            << "reps=" << bench_reps() << (bench_fast() ? " (fast mode)" : "")
-            << '\n'
-            << "==============================================\n";
 }
 
 }  // namespace baffle

@@ -36,6 +36,5 @@ std::size_t bench_reps();
 bool bench_fast();
 
 /// Standard bench banner: experiment id, paper reference, knob values.
-void print_banner(const std::string& title, const std::string& paper_ref);
 
 }  // namespace baffle

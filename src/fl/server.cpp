@@ -3,10 +3,25 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/contracts.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace baffle {
+
+void validate_fl_config(const FlConfig& config) {
+  BAFFLE_CHECK(config.total_clients > 0, "FL needs at least one client");
+  BAFFLE_CHECK(config.clients_per_round > 0,
+               "every round needs at least one contributor");
+  BAFFLE_CHECK(config.clients_per_round <= config.total_clients,
+               "cannot sample more contributors than clients exist");
+  BAFFLE_CHECK(config.global_lr > 0.0,
+               "global learning rate must be positive");
+  BAFFLE_CHECK(!config.secure_aggregation ||
+                   (config.secure_agg_frac_bits > 0 &&
+                    config.secure_agg_frac_bits < 64),
+               "secure-agg fixed-point precision must fit a 64-bit word");
+}
 
 FlServer::FlServer(MlpConfig arch, FlConfig config, std::uint64_t seed)
     : arch_(std::move(arch)),
@@ -14,10 +29,7 @@ FlServer::FlServer(MlpConfig arch, FlConfig config, std::uint64_t seed)
       global_(arch_),
       aggregator_(config.global_lr, config.total_clients),
       secure_agg_key_base_(Rng::split_mix(seed)) {
-  if (config.clients_per_round == 0 ||
-      config.clients_per_round > config.total_clients) {
-    throw std::invalid_argument("FlServer: bad clients_per_round");
-  }
+  validate_fl_config(config);
   Rng init_rng(seed);
   global_.init(init_rng);
 }

@@ -29,6 +29,11 @@ struct FlConfig {
   bool parallel_updates = true;
 };
 
+/// Validates an FlConfig (contributor counts, learning rate, secure-agg
+/// precision). Throws ContractViolation on a bad config; also run by
+/// the FlServer constructor.
+void validate_fl_config(const FlConfig& config);
+
 /// Snapshot of a committed global model, used by the defense history.
 struct GlobalModel {
   std::uint64_t version = 0;

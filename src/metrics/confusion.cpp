@@ -1,23 +1,22 @@
 #include "metrics/confusion.hpp"
 
-#include <stdexcept>
+#include "util/contracts.hpp"
 
 namespace baffle {
 
 ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
     : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {
-  if (num_classes == 0) {
-    throw std::invalid_argument("ConfusionMatrix: zero classes");
-  }
+  BAFFLE_CHECK(num_classes > 0,
+               "ConfusionMatrix needs at least one class");
 }
 
 void ConfusionMatrix::record(int true_label, int predicted_label) {
-  if (true_label < 0 ||
-      static_cast<std::size_t>(true_label) >= num_classes_ ||
-      predicted_label < 0 ||
-      static_cast<std::size_t>(predicted_label) >= num_classes_) {
-    throw std::invalid_argument("ConfusionMatrix::record: label range");
-  }
+  BAFFLE_CHECK(true_label >= 0 &&
+                   static_cast<std::size_t>(true_label) < num_classes_,
+               "true label out of class range");
+  BAFFLE_CHECK(predicted_label >= 0 &&
+                   static_cast<std::size_t>(predicted_label) < num_classes_,
+               "predicted label out of class range");
   counts_[static_cast<std::size_t>(true_label) * num_classes_ +
           static_cast<std::size_t>(predicted_label)]++;
   ++total_;

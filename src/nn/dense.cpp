@@ -1,9 +1,9 @@
 #include "nn/dense.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/contracts.hpp"
 
 namespace baffle {
 
@@ -15,9 +15,8 @@ Dense::Dense(std::size_t in_dim, std::size_t out_dim, Activation act)
       bias_(out_dim, 0.0f),
       weight_grad_(in_dim, out_dim),
       bias_grad_(out_dim, 0.0f) {
-  if (in_dim == 0 || out_dim == 0) {
-    throw std::invalid_argument("Dense: zero dimension");
-  }
+  BAFFLE_CHECK(in_dim > 0 && out_dim > 0,
+               "layer dimensions must be positive");
 }
 
 void Dense::init_weights(Rng& rng) {
@@ -37,10 +36,12 @@ void Dense::ensure_packed() {
   if (!gemm_uses_packed()) return;
   if (packed_.valid_for(in_dim_, out_dim_, param_version_)) return;
   pack_b_panels(weights_, packed_, param_version_);
+  BAFFLE_DCHECK(packed_cache_valid(),
+                "a freshly built pack must match the current parameters");
 }
 
 void Dense::forward(const Matrix& x, Matrix& out) {
-  if (x.cols() != in_dim_) throw std::invalid_argument("Dense: input dim");
+  BAFFLE_CHECK(x.cols() == in_dim_, "input width must match the layer");
   cached_input_ = x;
   out = Matrix(x.rows(), out_dim_);
   ensure_packed();
@@ -55,7 +56,7 @@ void Dense::forward(const Matrix& x, Matrix& out) {
 }
 
 void Dense::forward_eval(ConstMatrixView x, Matrix& out) const {
-  if (x.cols() != in_dim_) throw std::invalid_argument("Dense: input dim");
+  BAFFLE_CHECK(x.cols() == in_dim_, "input width must match the layer");
   out.resize(x.rows(), out_dim_);
   // const + concurrent-safe: use the member pack only when it already
   // matches the current parameters; otherwise take the plain gemm path
@@ -70,9 +71,9 @@ void Dense::forward_eval(ConstMatrixView x, Matrix& out) const {
 }
 
 void Dense::backward(Matrix& dout, Matrix* dx) {
-  if (dout.rows() != cached_input_.rows() || dout.cols() != out_dim_) {
-    throw std::invalid_argument("Dense::backward: gradient shape");
-  }
+  BAFFLE_CHECK(dout.rows() == cached_input_.rows() &&
+                   dout.cols() == out_dim_,
+               "gradient shape must match the cached forward batch");
   activation_backward(act_, cached_output_, dout);
   // dW += xᵀ dout; db += colsum(dout); dx = dout Wᵀ
   Matrix dw(in_dim_, out_dim_);
@@ -89,10 +90,9 @@ void Dense::backward(Matrix& dout, Matrix* dx) {
 
 void Dense::backward_at(const Matrix& input, const Matrix& output,
                         Matrix& dout, Matrix* dx) {
-  if (dout.rows() != input.rows() || dout.cols() != out_dim_ ||
-      input.cols() != in_dim_) {
-    throw std::invalid_argument("Dense::backward_at: gradient shape");
-  }
+  BAFFLE_CHECK(dout.rows() == input.rows() && dout.cols() == out_dim_ &&
+                   input.cols() == in_dim_,
+               "gradient/input shapes must match the layer and batch");
   activation_backward(act_, output, dout);
   // dW = xᵀ dout; db = colsum(dout); dx = dout Wᵀ. The GEMM kernels and
   // col_sum zero-fill their outputs, so writing straight into the grad

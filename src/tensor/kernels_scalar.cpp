@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "tensor/kernels.hpp"
+#include "util/contracts.hpp"
 
 namespace baffle::kernels {
 namespace {
@@ -20,6 +21,9 @@ constexpr std::size_t kKBlock = 128;
 constexpr std::size_t kJBlock = 128;
 
 void gemm_ab_rows(const GemmRowArgs& g, std::size_t r0, std::size_t r1) {
+  BAFFLE_DCHECK(r0 <= r1, "kernel row range must be ordered");
+  BAFFLE_DCHECK(r0 == r1 || g.c != nullptr,
+                "kernel output pointer must be set for a non-empty range");
   const std::size_t k = g.k, n = g.n;
   for (std::size_t i = r0; i < r1; ++i) {
     std::fill_n(g.c + i * g.ldc, n, 0.0f);
@@ -63,6 +67,9 @@ void gemm_ab_rows(const GemmRowArgs& g, std::size_t r0, std::size_t r1) {
 }
 
 void gemm_atb_rows(const GemmRowArgs& g, std::size_t r0, std::size_t r1) {
+  BAFFLE_DCHECK(r0 <= r1, "kernel row range must be ordered");
+  BAFFLE_DCHECK(r0 == r1 || g.c != nullptr,
+                "kernel output pointer must be set for a non-empty range");
   const std::size_t k = g.k, n = g.n;
   for (std::size_t i = r0; i < r1; ++i) {
     std::fill_n(g.c + i * g.ldc, n, 0.0f);
@@ -103,6 +110,9 @@ void gemm_atb_rows(const GemmRowArgs& g, std::size_t r0, std::size_t r1) {
 }
 
 void gemm_abt_rows(const GemmRowArgs& g, std::size_t r0, std::size_t r1) {
+  BAFFLE_DCHECK(r0 <= r1, "kernel row range must be ordered");
+  BAFFLE_DCHECK(r0 == r1 || g.c != nullptr,
+                "kernel output pointer must be set for a non-empty range");
   const std::size_t k = g.k, n = g.n;
   for (std::size_t j0 = 0; j0 < n; j0 += kJBlock) {
     const std::size_t j1 = std::min(n, j0 + kJBlock);
@@ -147,6 +157,9 @@ void gemm_abt_rows(const GemmRowArgs& g, std::size_t r0, std::size_t r1) {
 // throughput here.
 void gemm_packed_rows(const PackedGemmArgs& g, std::size_t r0,
                       std::size_t r1) {
+  BAFFLE_DCHECK(r0 <= r1, "kernel row range must be ordered");
+  BAFFLE_DCHECK(r0 == r1 || g.c != nullptr,
+                "kernel output pointer must be set for a non-empty range");
   const std::size_t panels = (g.n + kPanelCols - 1) / kPanelCols;
   for (std::size_t jp = 0; jp < panels; ++jp) {
     const float* panel = g.bp + jp * g.k * kPanelCols;

@@ -13,6 +13,7 @@
 
 #include "tensor/kernels.hpp"
 #include "tensor/simd.hpp"
+#include "util/contracts.hpp"
 
 #if BAFFLE_SIMD_VEC_EXT && defined(BAFFLE_SIMD_TARGET_AVX2) && \
     defined(__x86_64__)
@@ -87,6 +88,12 @@ BAFFLE_ALWAYS_INLINE void micro_tile(const PackedGemmArgs& g,
 
 void gemm_packed_rows(const PackedGemmArgs& g, std::size_t r0,
                       std::size_t r1) {
+  BAFFLE_DCHECK(r0 <= r1, "kernel row range must be ordered");
+  BAFFLE_DCHECK(r0 == r1 || g.c != nullptr,
+                "kernel output pointer must be set for a non-empty range");
+  BAFFLE_DCHECK(
+      reinterpret_cast<std::uintptr_t>(g.bp) % simd::kAlignment == 0,
+      "packed panels must be cache-line aligned");
   const std::size_t panels = (g.n + kPanelCols - 1) / kPanelCols;
   // Panel-outer: one k x 16 panel (16 KiB at k=256) stays L1-resident
   // while every row tile in [r0, r1) streams over it.
@@ -359,6 +366,7 @@ KernelTable make_table() {
   // The natural-layout row kernels stay on the scalar implementations:
   // with prefer_packed set, ops.cpp routes every gemm through the
   // packed path, so those entries only serve as a safety net.
+  // scalar-inherited: gemm_ab_rows, gemm_atb_rows, gemm_abt_rows
   t.gemm_packed_rows = gemm_packed_rows;
   t.dot = dot;
   t.squared_l2 = squared_l2;

@@ -6,12 +6,12 @@
 // heavyweight kernels live in tensor/ops.hpp so this header stays cheap
 // to include.
 
-#include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "tensor/aligned.hpp"
+#include "util/contracts.hpp"
 
 namespace baffle {
 
@@ -30,20 +30,22 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   float& at(std::size_t r, std::size_t c) {
-    assert(r < rows_ && c < cols_);
+    BAFFLE_DCHECK_BOUNDS(r, rows_);
+    BAFFLE_DCHECK_BOUNDS(c, cols_);
     return data_[r * cols_ + c];
   }
   float at(std::size_t r, std::size_t c) const {
-    assert(r < rows_ && c < cols_);
+    BAFFLE_DCHECK_BOUNDS(r, rows_);
+    BAFFLE_DCHECK_BOUNDS(c, cols_);
     return data_[r * cols_ + c];
   }
 
   std::span<float> row(std::size_t r) {
-    assert(r < rows_);
+    BAFFLE_DCHECK_BOUNDS(r, rows_);
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const float> row(std::size_t r) const {
-    assert(r < rows_);
+    BAFFLE_DCHECK_BOUNDS(r, rows_);
     return {data_.data() + r * cols_, cols_};
   }
 
@@ -89,13 +91,14 @@ class ConstMatrixView {
   const float* data() const { return data_; }
 
   std::span<const float> row(std::size_t r) const {
-    assert(r < rows_);
+    BAFFLE_DCHECK_BOUNDS(r, rows_);
     return {data_ + r * cols_, cols_};
   }
 
   /// View of `count` consecutive rows starting at `first`.
   ConstMatrixView row_range(std::size_t first, std::size_t count) const {
-    assert(first + count <= rows_);
+    BAFFLE_DCHECK(first + count <= rows_,
+                  "row_range must stay inside the viewed matrix");
     return {data_ + first * cols_, count, cols_};
   }
 

@@ -1,13 +1,13 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
 
 #include "tensor/kernels.hpp"
+#include "util/contracts.hpp"
 #include "tensor/simd.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -15,10 +15,6 @@
 namespace baffle {
 
 namespace {
-void check(bool cond, const char* what) {
-  if (!cond) throw std::invalid_argument(what);
-}
-
 // Multiply-accumulate count above which a GEMM is split into row-block
 // tasks on the global thread pool (and its time/flops reported to the
 // metrics registry). Below it the pool dispatch costs more than it
@@ -87,9 +83,9 @@ void run_packed(const kernels::KernelTable& kt, const float* a,
                 std::size_t a_row_stride, std::size_t a_p_stride,
                 const PackedB& bp, Matrix& out, std::size_t m,
                 std::size_t macs) {
-  assert(reinterpret_cast<std::uintptr_t>(bp.data()) % simd::kAlignment ==
-             0 &&
-         "packed panels must be cache-line aligned");
+  BAFFLE_DCHECK(
+      reinterpret_cast<std::uintptr_t>(bp.data()) % simd::kAlignment == 0,
+      "packed panels must be cache-line aligned");
   kernels::PackedGemmArgs args;
   args.a = a;
   args.a_row_stride = a_row_stride;
@@ -163,12 +159,13 @@ void pack_bt_panels(const Matrix& b, PackedB& out) {
 }
 
 void gemm_ab_packed(ConstMatrixView a, const PackedB& bp, Matrix& out) {
-  check(a.cols() == bp.k(), "gemm_ab: inner dimension mismatch");
-  check(out.rows() == a.rows() && out.cols() == bp.n(),
+  BAFFLE_CHECK(a.cols() == bp.k(), "gemm_ab: inner dimension mismatch");
+  BAFFLE_CHECK(out.rows() == a.rows() && out.cols() == bp.n(),
         "gemm_ab: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = bp.n();
   if (m == 0 || n == 0) return;
-  assert(disjoint(out.flat().data(), out.size(), a.data(), m * k));
+  BAFFLE_DCHECK(disjoint(out.flat().data(), out.size(), a.data(), m * k),
+                "GEMM output must not alias an input");
   const std::size_t macs = m * k * n;
   const GemmReport report(macs, macs >= kParallelMacs);
   run_packed(kernels::active_table(), a.data(), /*a_row_stride=*/k,
@@ -176,13 +173,15 @@ void gemm_ab_packed(ConstMatrixView a, const PackedB& bp, Matrix& out) {
 }
 
 void gemm_ab(ConstMatrixView a, const Matrix& b, Matrix& out) {
-  check(a.cols() == b.rows(), "gemm_ab: inner dimension mismatch");
-  check(out.rows() == a.rows() && out.cols() == b.cols(),
+  BAFFLE_CHECK(a.cols() == b.rows(), "gemm_ab: inner dimension mismatch");
+  BAFFLE_CHECK(out.rows() == a.rows() && out.cols() == b.cols(),
         "gemm_ab: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (m == 0 || n == 0) return;
-  assert(disjoint(out.flat().data(), out.size(), a.data(), m * k));
-  assert(disjoint(out.flat().data(), out.size(), b.flat().data(), b.size()));
+  BAFFLE_DCHECK(disjoint(out.flat().data(), out.size(), a.data(), m * k),
+                "GEMM output must not alias an input");
+  BAFFLE_DCHECK(disjoint(out.flat().data(), out.size(), b.flat().data(), b.size()),
+                "GEMM output must not alias an input");
   const std::size_t macs = m * k * n;
   const GemmReport report(macs, macs >= kParallelMacs);
   const kernels::KernelTable& kt = kernels::active_table();
@@ -208,13 +207,15 @@ void gemm_ab(ConstMatrixView a, const Matrix& b, Matrix& out) {
 }
 
 void gemm_atb(const Matrix& a, const Matrix& b, Matrix& out) {
-  check(a.rows() == b.rows(), "gemm_atb: inner dimension mismatch");
-  check(out.rows() == a.cols() && out.cols() == b.cols(),
+  BAFFLE_CHECK(a.rows() == b.rows(), "gemm_atb: inner dimension mismatch");
+  BAFFLE_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
         "gemm_atb: output shape mismatch");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (m == 0 || n == 0) return;
-  assert(disjoint(out.flat().data(), out.size(), a.flat().data(), a.size()));
-  assert(disjoint(out.flat().data(), out.size(), b.flat().data(), b.size()));
+  BAFFLE_DCHECK(disjoint(out.flat().data(), out.size(), a.flat().data(), a.size()),
+                "GEMM output must not alias an input");
+  BAFFLE_DCHECK(disjoint(out.flat().data(), out.size(), b.flat().data(), b.size()),
+                "GEMM output must not alias an input");
   const std::size_t macs = m * k * n;
   const GemmReport report(macs, macs >= kParallelMacs);
   const kernels::KernelTable& kt = kernels::active_table();
@@ -239,13 +240,15 @@ void gemm_atb(const Matrix& a, const Matrix& b, Matrix& out) {
 }
 
 void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out) {
-  check(a.cols() == b.cols(), "gemm_abt: inner dimension mismatch");
-  check(out.rows() == a.rows() && out.cols() == b.rows(),
+  BAFFLE_CHECK(a.cols() == b.cols(), "gemm_abt: inner dimension mismatch");
+  BAFFLE_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
         "gemm_abt: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (m == 0 || n == 0) return;
-  assert(disjoint(out.flat().data(), out.size(), a.flat().data(), a.size()));
-  assert(disjoint(out.flat().data(), out.size(), b.flat().data(), b.size()));
+  BAFFLE_DCHECK(disjoint(out.flat().data(), out.size(), a.flat().data(), a.size()),
+                "GEMM output must not alias an input");
+  BAFFLE_DCHECK(disjoint(out.flat().data(), out.size(), b.flat().data(), b.size()),
+                "GEMM output must not alias an input");
   const std::size_t macs = m * k * n;
   const kernels::KernelTable& kt = kernels::active_table();
   if (kt.prefer_packed) {
@@ -282,7 +285,7 @@ void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out) {
 }
 
 void add_row_bias(Matrix& m, std::span<const float> bias) {
-  check(bias.size() == m.cols(), "add_row_bias: bias length mismatch");
+  BAFFLE_CHECK(bias.size() == m.cols(), "add_row_bias: bias length mismatch");
   const kernels::KernelTable& kt = kernels::active_table();
   for (std::size_t r = 0; r < m.rows(); ++r) {
     kt.axpy(1.0f, bias.data(), m.row(r).data(), m.cols());
@@ -290,7 +293,7 @@ void add_row_bias(Matrix& m, std::span<const float> bias) {
 }
 
 void col_sum(const Matrix& m, std::span<float> out) {
-  check(out.size() == m.cols(), "col_sum: output length mismatch");
+  BAFFLE_CHECK(out.size() == m.cols(), "col_sum: output length mismatch");
   std::fill(out.begin(), out.end(), 0.0f);
   const kernels::KernelTable& kt = kernels::active_table();
   for (std::size_t r = 0; r < m.rows(); ++r) {
@@ -318,7 +321,7 @@ std::vector<std::size_t> argmax_rows(const Matrix& m) {
 }
 
 void argmax_rows_into(const Matrix& m, std::span<std::size_t> out) {
-  check(out.size() == m.rows(), "argmax_rows_into: output length mismatch");
+  BAFFLE_CHECK(out.size() == m.rows(), "argmax_rows_into: output length mismatch");
   for (std::size_t r = 0; r < m.rows(); ++r) {
     auto row = m.row(r);
     out[r] = static_cast<std::size_t>(

@@ -1,0 +1,7 @@
+#pragma once
+// Seeded violation: not self-contained (rule header-hygiene) — uses
+// std::vector without including <vector>.
+
+namespace fixture {
+inline std::vector<int> needs_vector() { return {}; }
+}  // namespace fixture

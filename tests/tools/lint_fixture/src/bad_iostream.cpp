@@ -1,0 +1,6 @@
+// Seeded violation: console I/O in a library TU (rule no-iostream).
+#include <iostream>
+
+namespace fixture {
+void shout() { std::cout << "library code must not own stdout\n"; }
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Seeded violation: naked new/delete (rule no-naked-new).
+namespace fixture {
+int* leak_prone() {
+  int* p = new int(42);
+  return p;
+}
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Seeded violation: libc randomness (rule no-libc-random).
+#include <cstdlib>
+
+namespace fixture {
+int unseeded_entropy() { return std::rand(); }
+}  // namespace fixture

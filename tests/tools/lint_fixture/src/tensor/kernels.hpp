@@ -1,0 +1,13 @@
+#pragma once
+// Fixture dispatch table (rule dispatch-table): `frob_rows` is fully
+// wired (both arms + parity coverage); `zorp` is the seeded violation —
+// it exists only in the scalar arm and has no parity test.
+
+namespace fixture {
+
+struct KernelTable {
+  void (*frob_rows)(int);
+  double (*zorp)(int);
+};
+
+}  // namespace fixture

@@ -1,0 +1,5 @@
+#include "tensor/kernels.hpp"
+
+namespace fixture {
+void frob_rows(int) {}
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture parity suite: covers frob_rows only — the second table entry
+// is the seeded dispatch-table violation.
+namespace fixture {
+void parity_frob_rows() { /* frob_rows */ }
+}  // namespace fixture

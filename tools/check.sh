@@ -1,66 +1,163 @@
 #!/usr/bin/env bash
 # Strict local CI gate: warnings-as-errors build + full test suite (on
-# both kernel-dispatch arms), plus optional sanitizer stages.
+# both kernel-dispatch arms), repo lint, and optional sanitizer stages.
 #
 # Usage:
-#   tools/check.sh            # strict build + ctest + forced-scalar ctest
+#   tools/check.sh            # strict build + ctest (both arms) + lint
+#   tools/check.sh --checks   # also build with BAFFLE_CHECKS=ON (live
+#                             # DCHECK contracts) and run the full suite
+#   tools/check.sh --asan     # also build with -fsanitize=address,leak
+#                             # and run the full suite on both arms
 #   tools/check.sh --tsan     # also build with -fsanitize=thread and run
-#                             # the tensor/core suites under TSan
+#                             # the concurrent suites under TSan
 #   tools/check.sh --ubsan    # also build with -fsanitize=undefined and
 #                             # run the numeric suites on both arms
+#   tools/check.sh --tidy     # also run clang-tidy (skips if absent)
+#   tools/check.sh --all      # every stage above
+#
+# Each stage reports one PASS/FAIL/SKIP line; the script stops at the
+# first failure so the offending stage is the last line printed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+TEST_TARGETS=(test_util test_tensor test_nn test_data test_metrics
+              test_fl test_attack test_core test_baselines test_exp
+              test_integration)
+
+RUN_CHECKS=0
+RUN_ASAN=0
 RUN_TSAN=0
 RUN_UBSAN=0
+RUN_TIDY=0
 for arg in "$@"; do
   case "$arg" in
+    --checks) RUN_CHECKS=1 ;;
+    --asan) RUN_ASAN=1 ;;
     --tsan) RUN_TSAN=1 ;;
     --ubsan) RUN_UBSAN=1 ;;
+    --tidy) RUN_TIDY=1 ;;
+    --all) RUN_CHECKS=1; RUN_ASAN=1; RUN_TSAN=1; RUN_UBSAN=1; RUN_TIDY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-echo "== strict build (BAFFLE_STRICT=ON) =="
-cmake -B build-strict -S . -DBAFFLE_STRICT=ON
-cmake --build build-strict -j "$JOBS"
+SUMMARY=()
+stage() {  # stage <name> <command...>
+  local name="$1"; shift
+  echo "== ${name} =="
+  if "$@"; then
+    SUMMARY+=("PASS  ${name}")
+  else
+    SUMMARY+=("FAIL  ${name}")
+    print_summary
+    exit 1
+  fi
+}
+skip() {
+  SUMMARY+=("SKIP  $1 ($2)")
+  echo "== $1: SKIP ($2) =="
+}
+print_summary() {
+  echo
+  echo "check.sh summary:"
+  printf '  %s\n' "${SUMMARY[@]}"
+}
 
-echo "== tests (dispatched kernels) =="
-ctest --test-dir build-strict --output-on-failure -j "$JOBS"
+run_suite_both_arms() {  # run_suite_both_arms <build-dir>
+  # The scalar arm must stay a drop-in replacement: every numeric
+  # outcome the suite checks has to hold with SIMD dispatch pinned off.
+  ctest --test-dir "$1" --output-on-failure -j "$JOBS" &&
+    BAFFLE_FORCE_SCALAR=1 ctest --test-dir "$1" --output-on-failure \
+      -j "$JOBS"
+}
 
-echo "== tests (BAFFLE_FORCE_SCALAR=1) =="
-# The scalar arm must stay a drop-in replacement: every numeric outcome
-# the suite checks has to hold with SIMD dispatch pinned off.
-BAFFLE_FORCE_SCALAR=1 ctest --test-dir build-strict --output-on-failure \
-  -j "$JOBS"
+build_cfg() {  # build_cfg <build-dir> <cmake-args...>
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" && cmake --build "$dir" -j "$JOBS"
+}
 
-if [[ "$RUN_TSAN" -eq 1 ]]; then
-  echo "== ThreadSanitizer (BAFFLE_TSAN=ON) =="
-  cmake -B build-tsan -S . -DBAFFLE_TSAN=ON
-  cmake --build build-tsan -j "$JOBS" \
-    --target test_tensor test_core test_util test_fl test_exp
+build_targets() {  # build_targets <build-dir> <cmake-arg> <targets...>
+  local dir="$1" cfg="$2"; shift 2
+  cmake -B "$dir" -S . "$cfg" &&
+    cmake --build "$dir" -j "$JOBS" --target "$@"
+}
+
+stage "strict build (BAFFLE_STRICT=ON)" \
+  build_cfg build-strict -DBAFFLE_STRICT=ON
+stage "tests (dispatched + forced-scalar)" \
+  run_suite_both_arms build-strict
+stage "repo lint (tools/baffle_lint.py)" \
+  python3 tools/baffle_lint.py --root .
+
+if [[ "$RUN_CHECKS" -eq 1 ]]; then
+  stage "contracts build (BAFFLE_CHECKS=ON)" \
+    build_cfg build-checks -DBAFFLE_CHECKS=ON
+  stage "tests under live DCHECKs" \
+    run_suite_both_arms build-checks
+fi
+
+run_asan_suites() {
+  # Full suite on both dispatch arms under ASan+LSan. ctest would work
+  # too, but running the binaries directly keeps the report readable on
+  # a failure (one process per suite, no interleaving).
+  local bin arm
+  for arm in "" "BAFFLE_FORCE_SCALAR=1"; do
+    for bin in "${TEST_TARGETS[@]}"; do
+      env ${arm} ASAN_OPTIONS=halt_on_error=1 \
+        "./build-asan/tests/${bin}" --gtest_brief=1 || return 1
+    done
+  done
+}
+
+if [[ "$RUN_ASAN" -eq 1 ]]; then
+  stage "ASan build (BAFFLE_ASAN=ON)" \
+    build_targets build-asan -DBAFFLE_ASAN=ON "${TEST_TARGETS[@]}"
+  stage "tests under ASan+LSan (both arms)" run_asan_suites
+fi
+
+run_tsan_suites() {
   # Force a multi-worker pool even on single-core hosts so the parallel
   # GEMM, round-training, secure-agg masking and defense.evaluate paths
   # actually interleave under TSan.
-  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_tensor
-  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_core
-  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_util
-  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_fl
-  BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_exp
+  local bin
+  for bin in test_tensor test_core test_util test_fl test_exp; do
+    BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+      "./build-tsan/tests/${bin}" --gtest_brief=1 || return 1
+  done
+}
+
+if [[ "$RUN_TSAN" -eq 1 ]]; then
+  stage "TSan build (BAFFLE_TSAN=ON)" \
+    build_targets build-tsan -DBAFFLE_TSAN=ON \
+    test_tensor test_core test_util test_fl test_exp
+  stage "concurrent suites under TSan" run_tsan_suites
 fi
 
-if [[ "$RUN_UBSAN" -eq 1 ]]; then
-  echo "== UndefinedBehaviorSanitizer (BAFFLE_UBSAN=ON) =="
-  cmake -B build-ubsan -S . -DBAFFLE_UBSAN=ON
-  cmake --build build-ubsan -j "$JOBS" --target test_tensor test_nn
+run_ubsan_suites() {
   # Both dispatch arms: the packed SIMD microkernels and the legacy
   # scalar loops each get a pass over the numeric suites.
-  ./build-ubsan/tests/test_tensor
-  ./build-ubsan/tests/test_nn
-  BAFFLE_FORCE_SCALAR=1 ./build-ubsan/tests/test_tensor
-  BAFFLE_FORCE_SCALAR=1 ./build-ubsan/tests/test_nn
+  ./build-ubsan/tests/test_tensor --gtest_brief=1 &&
+    ./build-ubsan/tests/test_nn --gtest_brief=1 &&
+    BAFFLE_FORCE_SCALAR=1 ./build-ubsan/tests/test_tensor \
+      --gtest_brief=1 &&
+    BAFFLE_FORCE_SCALAR=1 ./build-ubsan/tests/test_nn --gtest_brief=1
+}
+
+if [[ "$RUN_UBSAN" -eq 1 ]]; then
+  stage "UBSan build (BAFFLE_UBSAN=ON)" \
+    build_targets build-ubsan -DBAFFLE_UBSAN=ON test_tensor test_nn
+  stage "numeric suites under UBSan (both arms)" run_ubsan_suites
 fi
 
+if [[ "$RUN_TIDY" -eq 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    stage "clang-tidy (tools/tidy.sh)" tools/tidy.sh build-strict
+  else
+    skip "clang-tidy" "not installed"
+  fi
+fi
+
+print_summary
 echo "check.sh: all stages passed"
