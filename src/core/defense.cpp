@@ -25,14 +25,28 @@ BaffleDefense::BaffleDefense(MlpConfig arch, FeedbackConfig config,
 
 void BaffleDefense::on_commit(std::uint64_t version, ParamVec params) {
   history_.push(version, std::move(params));
+  const GlobalModel& latest = history_.latest();
+  for (auto& [id, validator] : client_validators_) {
+    validator.notify_commit(latest.version, latest.params);
+  }
+  if (server_validator_) {
+    server_validator_->notify_commit(latest.version, latest.params);
+  }
+}
+
+void BaffleDefense::on_reject() {
+  for (auto& [id, validator] : client_validators_) {
+    validator.notify_reject();
+  }
+  if (server_validator_) server_validator_->notify_reject();
 }
 
 bool BaffleDefense::ready() const {
   return history_.size() >= config_.validator.min_variations + 1;
 }
 
-std::vector<GlobalModel> BaffleDefense::current_window() const {
-  return history_.window(config_.validator.lookback + 1);
+ModelWindow BaffleDefense::current_window() const {
+  return history_.window_shared(config_.validator.lookback + 1);
 }
 
 Validator* BaffleDefense::client_validator(
@@ -59,7 +73,7 @@ FeedbackDecision BaffleDefense::evaluate(
     const std::vector<FlClient>& clients,
     const std::unordered_set<std::size_t>& malicious_ids,
     VoteStrategy strategy) {
-  const std::vector<GlobalModel> window = current_window();
+  const ModelWindow window = current_window();
   BAFFLE_DCHECK(window.size() <= config_.validator.lookback + 1,
                 "validators receive at most the last l+1 accepted models");
 

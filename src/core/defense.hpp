@@ -8,7 +8,8 @@
 //   auto decision = defense.evaluate(proposal.candidate_params,
 //                                    proposal.contributors, clients,
 //                                    malicious_ids, strategy);
-//   if (decision.reject) server.discard(proposal);
+//   if (decision.reject) { server.discard(proposal);
+//                          defense.on_reject(); }
 //   else { server.commit(proposal);
 //          defense.on_commit(server.version(),
 //                            proposal.candidate_params); }
@@ -31,8 +32,15 @@ class BaffleDefense {
   BaffleDefense(MlpConfig arch, FeedbackConfig config,
                 Dataset server_holdout);
 
-  /// Records an accepted global model into the history.
+  /// Records an accepted global model into the history and notifies
+  /// every materialized validator (notify_commit), promoting pending
+  /// candidate evaluations into the per-validator prediction caches.
   void on_commit(std::uint64_t version, ParamVec params);
+
+  /// Records a rejected round: validators drop the candidate state they
+  /// held for promotion (the model was rolled back, its evaluation must
+  /// never be attributed to a committed version).
+  void on_reject();
 
   /// True once the history holds enough models for validators to score
   /// (min_variations + 1).
@@ -48,8 +56,9 @@ class BaffleDefense {
       const std::unordered_set<std::size_t>& malicious_ids,
       VoteStrategy strategy);
 
-  /// The ℓ+1-model window validators receive this round.
-  std::vector<GlobalModel> current_window() const;
+  /// The ℓ+1-model window validators receive this round (zero-copy:
+  /// entries alias the stored history snapshots).
+  ModelWindow current_window() const;
 
   const ModelHistory& history() const { return history_; }
   const FeedbackConfig& config() const { return config_; }

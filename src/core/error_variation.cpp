@@ -38,4 +38,14 @@ double variation_distance(const VariationPoint& a, const VariationPoint& b) {
   return std::sqrt(acc);
 }
 
+void variation_distances(const VariationPoint& point,
+                         std::span<const VariationPoint> points,
+                         std::span<double> out) {
+  BAFFLE_CHECK(out.size() == points.size(),
+               "variation_distances output must match the point count");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out[i] = variation_distance(point, points[i]);
+  }
+}
+
 }  // namespace baffle

@@ -10,6 +10,7 @@
 // gradually); a freshly injected backdoor shifts one or a few classes'
 // rates and lands the point far from the cluster.
 
+#include <span>
 #include <vector>
 
 #include "metrics/confusion.hpp"
@@ -24,5 +25,11 @@ VariationPoint error_variation(const ConfusionMatrix& older,
 
 /// Euclidean distance between variation points (LOF metric).
 double variation_distance(const VariationPoint& a, const VariationPoint& b);
+
+/// Distances from `point` to each entry of `points`, written to `out`
+/// (one row of a pairwise distance matrix; |out| must equal |points|).
+void variation_distances(const VariationPoint& point,
+                         std::span<const VariationPoint> points,
+                         std::span<double> out);
 
 }  // namespace baffle

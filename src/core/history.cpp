@@ -13,9 +13,10 @@ ModelHistory::ModelHistory(std::size_t capacity) : capacity_(capacity) {
 }
 
 void ModelHistory::push(std::uint64_t version, ParamVec params) {
-  BAFFLE_DCHECK(entries_.empty() || version > entries_.back().version,
+  BAFFLE_DCHECK(entries_.empty() || version > entries_.back()->version,
                 "committed model versions must be strictly increasing");
-  entries_.push_back(GlobalModel{version, std::move(params)});
+  entries_.push_back(std::make_shared<const GlobalModel>(
+      GlobalModel{version, std::move(params)}));
   while (entries_.size() > capacity_) entries_.pop_front();
   BAFFLE_DCHECK(entries_.size() <= capacity_,
                 "history retention must stay within capacity");
@@ -26,6 +27,16 @@ std::vector<GlobalModel> ModelHistory::window(std::size_t count) const {
   std::vector<GlobalModel> out;
   out.reserve(n);
   for (std::size_t i = entries_.size() - n; i < entries_.size(); ++i) {
+    out.push_back(*entries_[i]);
+  }
+  return out;
+}
+
+ModelWindow ModelHistory::window_shared(std::size_t count) const {
+  const std::size_t n = std::min(count, entries_.size());
+  ModelWindow out;
+  out.reserve(n);
+  for (std::size_t i = entries_.size() - n; i < entries_.size(); ++i) {
     out.push_back(entries_[i]);
   }
   return out;
@@ -33,7 +44,7 @@ std::vector<GlobalModel> ModelHistory::window(std::size_t count) const {
 
 const GlobalModel& ModelHistory::latest() const {
   if (entries_.empty()) throw std::out_of_range("ModelHistory: empty");
-  return entries_.back();
+  return *entries_.back();
 }
 
 }  // namespace baffle

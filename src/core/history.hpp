@@ -5,12 +5,22 @@
 // proposals never enter the history, which is what bootstraps trust
 // across rounds (§IV-B). Only the most recent `capacity` snapshots are
 // retained; the feedback loop ships the last ℓ+1 to validators.
+//
+// Snapshots are held behind shared_ptr so the per-round window handed
+// to every validator aliases the stored models instead of copying ℓ+1
+// parameter vectors per validator per round.
 
 #include <deque>
+#include <memory>
 
 #include "fl/server.hpp"
 
 namespace baffle {
+
+/// Zero-copy view of the last ℓ+1 accepted models, oldest first. The
+/// pointees are immutable and stay alive for as long as any window
+/// references them, even after the history rotates them out.
+using ModelWindow = std::vector<std::shared_ptr<const GlobalModel>>;
 
 class ModelHistory {
  public:
@@ -23,15 +33,18 @@ class ModelHistory {
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  /// The most recent `count` accepted models, oldest first. Returns
-  /// fewer when the history is still short.
+  /// The most recent `count` accepted models, oldest first, as value
+  /// copies. Returns fewer when the history is still short.
   std::vector<GlobalModel> window(std::size_t count) const;
+
+  /// As window(), but aliasing the stored snapshots (no param copies).
+  ModelWindow window_shared(std::size_t count) const;
 
   const GlobalModel& latest() const;
 
  private:
   std::size_t capacity_;
-  std::deque<GlobalModel> entries_;
+  std::deque<std::shared_ptr<const GlobalModel>> entries_;
 };
 
 }  // namespace baffle

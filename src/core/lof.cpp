@@ -83,4 +83,113 @@ double lof_score(const VariationPoint& query,
   return mean_neighbor_lrd / query_lrd;
 }
 
+void LofWindow::assign(std::vector<double> dists, std::size_t m) {
+  BAFFLE_CHECK(dists.size() == m * m,
+               "LofWindow::assign needs a full m x m distance matrix");
+  m_ = m;
+  dists_ = std::move(dists);
+  orders_.clear();
+  if (m_ <= 1) return;
+  orders_.reserve(m_ * (m_ - 1));
+  // Same comparator as the pair-sort in knn(): (distance, index)
+  // lexicographic, so ties between equidistant points break identically.
+  std::vector<std::pair<double, std::size_t>> by_dist;
+  by_dist.reserve(m_ - 1);
+  for (std::size_t j = 0; j < m_; ++j) {
+    by_dist.clear();
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i != j) by_dist.emplace_back(dist(j, i), i);
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    for (const auto& [d, i] : by_dist) {
+      (void)d;
+      orders_.push_back(i);
+    }
+  }
+}
+
+double lof_score_windowed(const LofWindow& window,
+                          std::span<const double> query_row,
+                          std::size_t leave_out, std::size_t k) {
+  const std::size_t m = window.size();
+  BAFFLE_CHECK(query_row.size() == m,
+               "query_row must hold a distance to every window point");
+  const bool leave_one_out = leave_out < m;
+  const std::size_t active = leave_one_out ? m - 1 : m;
+  BAFFLE_CHECK(active >= 2, "lof_score needs at least 2 reference points");
+  k = std::max<std::size_t>(1, std::min(k, active - 1));
+
+  // Neighborhoods of every active reference point: the first k active
+  // entries of its precomputed order — exactly the ids (in the same
+  // sequence) that knn() returns over the leave-one-out reference set.
+  std::vector<std::size_t> nb_ids(m * k, 0);
+  std::vector<std::size_t> nb_count(m, 0);
+  std::vector<double> k_distance(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j == leave_out) continue;
+    std::size_t* ids = nb_ids.data() + j * k;
+    std::size_t count = 0;
+    for (std::size_t i : window.order(j)) {
+      if (i == leave_out) continue;
+      ids[count++] = i;
+      if (count == k) break;
+    }
+    nb_count[j] = count;
+    k_distance[j] = count > 0 ? window.dist(j, ids[count - 1]) : 0.0;
+  }
+
+  auto ref_lrd = [&](std::size_t j) {
+    BAFFLE_DCHECK(nb_count[j] > 0,
+                  "local reachability density needs a non-empty neighborhood");
+    const std::size_t* ids = nb_ids.data() + j * k;
+    double total = 0.0;
+    for (std::size_t t = 0; t < nb_count[j]; ++t) {
+      const std::size_t i = ids[t];
+      total += std::max(k_distance[i], window.dist(j, i));
+    }
+    const double mean_reach =
+        total / static_cast<double>(std::max<std::size_t>(1, nb_count[j]));
+    return 1.0 / std::max(mean_reach, kEps);
+  };
+
+  // Query neighborhood. In the leave-one-out case the query is window
+  // point `leave_out`, so its precomputed order (which already excludes
+  // the point itself) is the neighbor ranking; an external candidate
+  // sorts its row with the same (distance, index) comparator.
+  std::vector<std::size_t> query_ids;
+  query_ids.reserve(k);
+  if (leave_one_out) {
+    for (std::size_t i : window.order(leave_out)) {
+      query_ids.push_back(i);
+      if (query_ids.size() == k) break;
+    }
+  } else {
+    std::vector<std::pair<double, std::size_t>> by_dist;
+    by_dist.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      by_dist.emplace_back(query_row[i], i);
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    for (std::size_t t = 0; t < k; ++t) query_ids.push_back(by_dist[t].second);
+  }
+  BAFFLE_DCHECK(query_ids.size() == k,
+                "query neighborhood must hold exactly k reference points");
+
+  double query_total = 0.0;
+  for (std::size_t i : query_ids) {
+    query_total += std::max(k_distance[i], query_row[i]);
+  }
+  const double query_mean_reach =
+      query_total /
+      static_cast<double>(std::max<std::size_t>(1, query_ids.size()));
+  const double query_lrd = 1.0 / std::max(query_mean_reach, kEps);
+
+  double neighbor_lrd_sum = 0.0;
+  for (std::size_t i : query_ids) neighbor_lrd_sum += ref_lrd(i);
+  const double mean_neighbor_lrd =
+      neighbor_lrd_sum /
+      static_cast<double>(std::max<std::size_t>(1, query_ids.size()));
+  return mean_neighbor_lrd / query_lrd;
+}
+
 }  // namespace baffle

@@ -14,10 +14,12 @@
 // Reference sets here are tiny (ℓ ≤ 30 variation points), so exact
 // O(n²) neighbor search is the right tool.
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
 #include "core/error_variation.hpp"
+#include "util/contracts.hpp"
 
 namespace baffle {
 
@@ -28,5 +30,60 @@ namespace baffle {
 /// coincides with its neighbors is 1).
 double lof_score(const VariationPoint& query,
                  std::span<const VariationPoint> reference, std::size_t k);
+
+/// Pairwise-distance window for incremental LOF across rounds. The
+/// validator owns one per look-back window: when the window shifts by
+/// one model, only the new point's row of distances is computed (O(ℓ))
+/// and the retained (ℓ−1)² entries are carried over, instead of every
+/// lof_score call redoing the full O(ℓ²) pairwise pass.
+///
+/// Alongside the matrix it keeps, per point j, the other points' indices
+/// sorted by (distance to j, index) — the exact neighbor order the
+/// pair-sort in lof_score produces — so windowed scoring can slice any
+/// leave-one-out neighborhood without re-sorting distances per call.
+class LofWindow {
+ public:
+  std::size_t size() const { return m_; }
+  double dist(std::size_t i, std::size_t j) const {
+    BAFFLE_DCHECK_BOUNDS(i, m_);
+    BAFFLE_DCHECK_BOUNDS(j, m_);
+    return dists_[i * m_ + j];
+  }
+  /// Distances from point i to every point (entry i is 0).
+  std::span<const double> row(std::size_t i) const {
+    BAFFLE_DCHECK_BOUNDS(i, m_);
+    return {dists_.data() + i * m_, m_};
+  }
+  /// Indices ≠ j sorted by (dist(j, ·), index) — nearest first.
+  std::span<const std::size_t> order(std::size_t j) const {
+    BAFFLE_DCHECK_BOUNDS(j, m_);
+    return m_ <= 1 ? std::span<const std::size_t>{}
+                   : std::span<const std::size_t>{
+                         orders_.data() + j * (m_ - 1), m_ - 1};
+  }
+
+  /// Installs an m×m distance matrix (row-major, symmetric, zero
+  /// diagonal) and rebuilds the per-point neighbor orders.
+  void assign(std::vector<double> dists, std::size_t m);
+
+ private:
+  std::size_t m_ = 0;
+  std::vector<double> dists_;         // m × m
+  std::vector<std::size_t> orders_;   // m × (m−1)
+};
+
+/// LOF evaluated against the points of `window`, bit-identical to the
+/// equivalent lof_score call (same neighbor tie-breaking, clamping,
+/// epsilon floor and summation order) but with all pairwise distances
+/// read from the window instead of recomputed.
+///
+/// `query_row` holds the query's distance to every window point. When
+/// `leave_out < window.size()`, the query *is* window point `leave_out`
+/// (pass `window.row(leave_out)`) and that point is excluded from the
+/// reference set — the τ leave-one-out case; pass SIZE_MAX to score an
+/// external candidate against the full window.
+double lof_score_windowed(const LofWindow& window,
+                          std::span<const double> query_row,
+                          std::size_t leave_out, std::size_t k);
 
 }  // namespace baffle

@@ -8,16 +8,19 @@ const ConfusionMatrix* PredictionCache::find(std::uint64_t version) const {
 }
 
 void PredictionCache::insert(std::uint64_t version, ConfusionMatrix cm) {
-  if (entries_.size() >= max_entries_) {
-    // Versions grow monotonically and the window only looks back ℓ+1
-    // models, so evicting the smallest version is an exact LRU here.
-    auto oldest = entries_.begin();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->first < oldest->first) oldest = it;
-    }
-    entries_.erase(oldest);
+  if (entries_.size() >= max_entries_ && !entries_.contains(version)) {
+    // entries_ is version-ordered, so begin() is the smallest version —
+    // an exact LRU eviction (the window only ever looks back ℓ+1
+    // monotonically growing versions) without the old O(n) min-scan.
+    entries_.erase(entries_.begin());
   }
   entries_.insert_or_assign(version, std::move(cm));
+}
+
+void PredictionCache::promote(std::uint64_t version, ConfusionMatrix cm) {
+  ++promotions_;
+  MetricsRegistry::global().add_counter("prediction_cache.promotions");
+  insert(version, std::move(cm));
 }
 
 }  // namespace baffle

@@ -5,11 +5,13 @@
 // history models on the validator's fixed dataset. History models are
 // immutable and identified by version, so each (version → confusion
 // matrix) pair is computed once per validator and reused across rounds;
-// only the fresh candidate needs a new evaluation each round.
+// the fresh candidate's evaluation is *promoted* into the cache when the
+// round commits (Validator::notify_commit), so in steady state no model
+// is ever evaluated twice.
 
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <unordered_map>
 
 #include "metrics/confusion.hpp"
 #include "util/metrics.hpp"
@@ -24,9 +26,16 @@ class PredictionCache {
   const ConfusionMatrix* find(std::uint64_t version) const;
   void insert(std::uint64_t version, ConfusionMatrix cm);
 
+  /// Binds a candidate's already-computed confusion matrix to the
+  /// version it was committed under, so next round's history pass hits
+  /// instead of redoing the forward pass. Counted separately from
+  /// get_or_eval traffic (`prediction_cache.promotions`).
+  void promote(std::uint64_t version, ConfusionMatrix cm);
+
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t promotions() const { return promotions_; }
 
   /// Lookup-or-evaluate helper; counts hit/miss statistics (per cache
   /// and aggregated into the global metrics registry).
@@ -45,9 +54,13 @@ class PredictionCache {
 
  private:
   std::size_t max_entries_;
-  std::unordered_map<std::uint64_t, ConfusionMatrix> entries_;
+  // Ordered by version: eviction pops begin() — the smallest version —
+  // in O(1) instead of scanning for the minimum (versions are assigned
+  // monotonically by the server, so smallest == least recently useful).
+  std::map<std::uint64_t, ConfusionMatrix> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t promotions_ = 0;
 };
 
 }  // namespace baffle

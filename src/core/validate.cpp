@@ -40,29 +40,203 @@ ConfusionMatrix Validator::evaluate_params(const ParamVec& params) {
 }
 
 const ConfusionMatrix& Validator::evaluate_history(
-    const GlobalModel& snapshot) {
+    const HistoryRef& snapshot) {
   return cache_.get_or_eval(snapshot.version, [&] {
-    return evaluate_params(snapshot.params);
+    return evaluate_params(*snapshot.params);
   });
 }
+
+void Validator::stash_pending(const ParamVec& candidate,
+                              const ConfusionMatrix& cm) {
+  if (!config_.incremental) return;
+  pending_.emplace(PendingCandidate{candidate, cm});
+}
+
+void Validator::notify_commit(std::uint64_t version,
+                              const ParamVec& committed) {
+  // Promotion must be exact: only when the committed parameters are
+  // bit-equal to the candidate scored last is its confusion matrix
+  // valid under the new version (deterministic inference ⇒ identical
+  // predictions ⇒ identical matrix).
+  if (pending_ && pending_->params == committed) {
+    cache_.promote(version, std::move(pending_->cm));
+    MetricsRegistry::global().add_counter("validator.candidate_reuse");
+  }
+  pending_.reset();
+}
+
+void Validator::notify_reject() { pending_.reset(); }
 
 namespace {
 
 /// z-score with a degenerate-spread guard: when the history statistic
-/// barely moves, any visible jump is an outlier.
+/// barely moves, any visible jump is an outlier. A non-finite sample
+/// spread (e.g. NaN from a degenerate history) also falls back to the
+/// floor instead of propagating through std::max.
 double guarded_zscore(double value, std::span<const double> history_values) {
   const double m = mean(history_values);
   const double s = stddev(history_values);
   const double floor = 1e-4;
-  return (value - m) / std::max(s, floor);
+  const double spread = std::isfinite(s) ? std::max(s, floor) : floor;
+  return (value - m) / spread;
 }
 
 }  // namespace
 
 ValidationOutcome Validator::validate(const ParamVec& candidate,
                                       std::span<const GlobalModel> history) {
+  std::vector<HistoryRef> refs;
+  refs.reserve(history.size());
+  for (const auto& h : history) refs.push_back({h.version, &h.params});
+  return validate_impl(candidate, refs);
+}
+
+ValidationOutcome Validator::validate(const ParamVec& candidate,
+                                      const ModelWindow& history) {
+  std::vector<HistoryRef> refs;
+  refs.reserve(history.size());
+  for (const auto& h : history) refs.push_back({h->version, &h->params});
+  return validate_impl(candidate, refs);
+}
+
+void Validator::sync_window(std::span<const HistoryRef> history) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+  if (history.size() >= 2) {
+    keys.reserve(history.size() - 1);
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      keys.emplace_back(history[i - 1].version, history[i].version);
+    }
+  }
+  // Unchanged window (repeat validation, or the previous round was
+  // rejected and rolled back): every cached structure is still valid.
+  if (keys == window_keys_) return;
+
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  const std::size_t m = keys.size();
+
+  // Index of each new key in the outgoing window. The steady-state
+  // commit shifts the window by one (new i was old i+1); anything else
+  // (warmup growth, lookback change) falls back to a scan.
+  std::vector<std::size_t> old_index(m, npos);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i + 1 < window_keys_.size() && window_keys_[i + 1] == keys[i]) {
+      old_index[i] = i + 1;
+      continue;
+    }
+    for (std::size_t j = 0; j < window_keys_.size(); ++j) {
+      if (window_keys_[j] == keys[i]) {
+        old_index[i] = j;
+        break;
+      }
+    }
+  }
+
+  // Variation points: reuse by key (each key appears at most once,
+  // versions being strictly increasing, so moving out is safe), compute
+  // only the genuinely new pairs — O(1) per round in steady state.
+  std::vector<VariationPoint> points(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (old_index[i] != npos) {
+      points[i] = std::move(window_points_[old_index[i]]);
+    } else {
+      points[i] = error_variation(evaluate_history(history[i]),
+                                  evaluate_history(history[i + 1]));
+    }
+  }
+
+  // Distance matrix: entries between two retained points carry over
+  // (bit-identical — variation_distance is symmetric in IEEE floats);
+  // only rows touching a new point are recomputed, O(ℓ) distances per
+  // round instead of the O(ℓ²·⌊ℓ/4⌋) the fresh LOF calls redo.
+  std::vector<double> dists(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double d =
+          (old_index[i] != npos && old_index[j] != npos)
+              ? lof_window_.dist(old_index[i], old_index[j])
+              : variation_distance(points[i], points[j]);
+      dists[i * m + j] = d;
+      dists[j * m + i] = d;
+    }
+  }
+
+  window_keys_ = std::move(keys);
+  window_points_ = std::move(points);
+  lof_window_.assign(std::move(dists), m);
+
+  // τ = mean leave-one-out LOF of the last ⌊ℓ/4⌋ trusted points. It
+  // depends only on the window, so it is computed once per window here
+  // and reused for every candidate scored against it.
+  window_tau_ = 0.0;
+  window_tau_count_ = 0;
+  if (m >= config_.min_variations && m >= 1) {
+    const std::size_t k = lof_k_for_lookback(m);
+    const std::size_t tau_window =
+        std::max<std::size_t>(1, tau_window_for_lookback(m));
+    double tau_sum = 0.0;
+    for (std::size_t i = m - tau_window; i < m; ++i) {
+      if (m - 1 < 2) continue;  // mirrors lof_score's 2-point minimum
+      tau_sum += lof_score_windowed(lof_window_, lof_window_.row(i), i, k);
+      ++window_tau_count_;
+    }
+    if (window_tau_count_ > 0) {
+      window_tau_ = tau_sum / static_cast<double>(window_tau_count_);
+    }
+  }
+}
+
+ValidationOutcome Validator::validate_lof_incremental(
+    const ParamVec& candidate, std::span<const HistoryRef> history) {
+  ValidationOutcome outcome;
+  sync_window(history);
+
+  const std::size_t ell = window_points_.size();  // effective look-back
+  if (ell < config_.min_variations) {
+    outcome.abstained = true;
+    outcome.vote = 0;
+    return outcome;
+  }
+  BAFFLE_DCHECK(ell <= config_.lookback,
+                "a window of m models yields at most l variation points");
+  const std::size_t k = lof_k_for_lookback(ell);
+  BAFFLE_DCHECK(k == (ell + 1) / 2, "Algorithm 2 fixes k = ceil(l/2)");
+
+  // Candidate's variation point v_{ℓ+1} = v(𝒢^ℓ, G, D).
+  const ConfusionMatrix candidate_cm = evaluate_params(candidate);
+  const VariationPoint candidate_point =
+      error_variation(evaluate_history(history.back()), candidate_cm);
+  BAFFLE_DCHECK(candidate_point.size() == window_points_.front().size(),
+                "candidate and history variation points must share a dim");
+  stash_pending(candidate, candidate_cm);
+
+  if (window_tau_count_ == 0) {
+    outcome.abstained = true;
+    outcome.vote = 0;
+    return outcome;
+  }
+  outcome.tau = window_tau_;
+
+  candidate_row_.resize(ell);
+  variation_distances(candidate_point, window_points_, candidate_row_);
+  outcome.phi =
+      lof_score_windowed(lof_window_, candidate_row_,
+                         /*leave_out=*/static_cast<std::size_t>(-1), k);
+  outcome.vote =
+      outcome.phi > config_.tau_margin * outcome.tau ? 1 : 0;
+  return outcome;
+}
+
+ValidationOutcome Validator::validate_impl(
+    const ParamVec& candidate, std::span<const HistoryRef> history) {
   const ScopedTimer timer("validator.validate");
   MetricsRegistry::global().add_counter("validator.validations");
+  pending_.reset();
+
+  if (config_.incremental &&
+      config_.method == ValidationMethod::kErrorVariationLof) {
+    return validate_lof_incremental(candidate, history);
+  }
+
   ValidationOutcome outcome;
 
   // Variation points between consecutive accepted models. A history of
@@ -91,9 +265,10 @@ ValidationOutcome Validator::validate(const ParamVec& candidate,
       deltas.push_back(evaluate_history(history[i]).accuracy() -
                        evaluate_history(history[i - 1]).accuracy());
     }
+    const ConfusionMatrix candidate_cm = evaluate_params(candidate);
     const double candidate_delta =
-        evaluate_params(candidate).accuracy() -
-        evaluate_history(history.back()).accuracy();
+        candidate_cm.accuracy() - evaluate_history(history.back()).accuracy();
+    stash_pending(candidate, candidate_cm);
     // An anomalous accuracy *drop* is the poisoning signal.
     outcome.phi = -guarded_zscore(candidate_delta, deltas);
     outcome.tau = config_.zscore_threshold;
@@ -110,8 +285,10 @@ ValidationOutcome Validator::validate(const ParamVec& candidate,
     for (const auto& v : variations) {
       norms.push_back(variation_distance(v, origin));
     }
-    const VariationPoint candidate_point = error_variation(
-        evaluate_history(history.back()), evaluate_params(candidate));
+    const ConfusionMatrix candidate_cm = evaluate_params(candidate);
+    const VariationPoint candidate_point =
+        error_variation(evaluate_history(history.back()), candidate_cm);
+    stash_pending(candidate, candidate_cm);
     outcome.phi =
         guarded_zscore(variation_distance(candidate_point, origin), norms);
     outcome.tau = config_.zscore_threshold;
@@ -135,6 +312,7 @@ ValidationOutcome Validator::validate(const ParamVec& candidate,
       error_variation(evaluate_history(history.back()), candidate_cm);
   BAFFLE_DCHECK(candidate_point.size() == variations.front().size(),
                 "candidate and history variation points must share a dim");
+  stash_pending(candidate, candidate_cm);
 
   // τ = mean LOF of the last ⌊ℓ/4⌋ trusted points. Each is scored
   // leave-one-out against the remaining ℓ−1 variations so its reference

@@ -15,8 +15,21 @@
 // shards (BAFFLE-C), the server on its holdout (BAFFLE-S), or both
 // (BAFFLE) — and the adaptive attacker reuses it verbatim as its
 // self-check (src/attack/adaptive.hpp).
+//
+// The validator is incremental across rounds (DESIGN.md §12): variation
+// points are cached per (prev_version, next_version) pair, the pairwise
+// distance matrix behind the LOF tests shifts by one row/column per
+// round, and a committed candidate's confusion matrix is promoted into
+// the prediction cache (notify_commit) so it is never recomputed as
+// next round's history.back(). All of it is bit-identical to fresh
+// recomputation; `ValidatorConfig::incremental = false` selects the
+// recompute-everything path (benchmarks, parity tests).
 
+#include <cstdint>
+#include <optional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "core/history.hpp"
 #include "core/lof.hpp"
@@ -57,6 +70,11 @@ struct ValidatorConfig {
   /// paper's benign false-vote rate while leaving the order-of-magnitude
   /// LOF spikes of poisoned updates detectable.
   double tau_margin = 1.3;
+  /// Reuse cross-round state (cached variation points, incremental
+  /// distance matrix, candidate-CM promotion). Scores are bit-identical
+  /// either way; `false` recomputes everything per round — the pre-PR
+  /// baseline the benchmarks and parity tests compare against.
+  bool incremental = true;
 };
 
 struct ValidationOutcome {
@@ -78,19 +96,66 @@ class Validator {
   ValidationOutcome validate(const ParamVec& candidate,
                              std::span<const GlobalModel> history);
 
+  /// As above, over the zero-copy window (ModelHistory::window_shared).
+  ValidationOutcome validate(const ParamVec& candidate,
+                             const ModelWindow& history);
+
+  /// Round feedback: the candidate last scored by validate() was
+  /// committed as `version`. When its parameters match `committed`
+  /// bit-for-bit, the confusion matrix computed during validation is
+  /// promoted into the cache under `version` — next round's history
+  /// pass then hits instead of redoing the forward pass.
+  void notify_commit(std::uint64_t version, const ParamVec& committed);
+
+  /// Round feedback: the candidate was rejected (rolled back); its
+  /// pending confusion matrix is discarded.
+  void notify_reject();
+
   const Dataset& data() const { return data_; }
   const PredictionCache& cache() const { return cache_; }
   const ValidatorConfig& config() const { return config_; }
 
  private:
+  /// (version, params) view of one history entry; lets both validate
+  /// overloads share the implementation without materializing models.
+  struct HistoryRef {
+    std::uint64_t version = 0;
+    const ParamVec* params = nullptr;
+  };
+
+  /// Candidate evaluation retained between validate() and the round's
+  /// commit/reject feedback.
+  struct PendingCandidate {
+    ParamVec params;
+    ConfusionMatrix cm;
+  };
+
+  ValidationOutcome validate_impl(const ParamVec& candidate,
+                                  std::span<const HistoryRef> history);
+  ValidationOutcome validate_lof_incremental(
+      const ParamVec& candidate, std::span<const HistoryRef> history);
+  void sync_window(std::span<const HistoryRef> history);
+  void stash_pending(const ParamVec& candidate, const ConfusionMatrix& cm);
+
   ConfusionMatrix evaluate_params(const ParamVec& params);
-  const ConfusionMatrix& evaluate_history(const GlobalModel& snapshot);
+  const ConfusionMatrix& evaluate_history(const HistoryRef& snapshot);
 
   Dataset data_;
   ValidatorConfig config_;
   Mlp scratch_model_;          // reused for every evaluation
   MlpEvalWorkspace eval_ws_;   // inference scratch, reused likewise
   PredictionCache cache_;
+  std::optional<PendingCandidate> pending_;
+
+  // Incremental LOF state (valid for the window identified by
+  // window_keys_; rebuilt — reusing overlapping entries — when the
+  // history window shifts, and left untouched across rejected rounds).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> window_keys_;
+  std::vector<VariationPoint> window_points_;
+  LofWindow lof_window_;
+  double window_tau_ = 0.0;
+  std::size_t window_tau_count_ = 0;
+  std::vector<double> candidate_row_;  // scratch: candidate→window dists
 };
 
 /// Parameters of Algorithm 2 as pure functions (unit-tested directly).

@@ -2,8 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 #include <unordered_set>
 
 #include "attack/backdoor.hpp"
@@ -278,6 +283,41 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   // prediction buffers every round.
   MlpEvalWorkspace accuracy_ws;
 
+  // Pipelined accuracy tracking: round r's test-set + backdoor pass
+  // runs as a pool task overlapped with round r+1's client-update
+  // phase, against an immutable snapshot of the committed parameters.
+  // At most one task is outstanding, so one model/workspace pair is
+  // reused; records land through a pointer kept stable by the reserve
+  // above. Joining help-drains the pool (never blocks a worker slot),
+  // so nesting inside run_repeated's pool tasks cannot deadlock.
+  const bool pipeline =
+      config.scenario.pipeline_rounds && config.track_accuracy;
+  std::optional<Mlp> pipeline_model;
+  MlpEvalWorkspace pipeline_ws;
+  std::shared_ptr<const ParamVec> committed_params;
+  if (pipeline) {
+    pipeline_model.emplace(scenario.arch);
+    committed_params =
+        std::make_shared<const ParamVec>(server.global_model().parameters());
+  }
+  std::future<void> pending_eval;
+  const auto join_pending = [&] {
+    if (!pending_eval.valid()) return;
+    while (pending_eval.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!ThreadPool::global().try_run_one()) std::this_thread::yield();
+    }
+    pending_eval.get();
+  };
+  // Joins the in-flight evaluation even on an exceptional exit, so the
+  // task never outlives the locals it writes to.
+  struct JoinGuard {
+    std::function<void()> join;
+    ~JoinGuard() {
+      if (join) join();
+    }
+  } join_guard{join_pending};
+
   for (std::size_t r = 1; r <= config.rounds; ++r) {
     const bool scheduled = config.schedule.is_poison_round(r);
     std::vector<std::size_t> contributors = sampler.sample_round(rng);
@@ -293,14 +333,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     if (dba) dba->arm(scheduled);
 
     const auto train_start = std::chrono::steady_clock::now();
-    const auto proposal =
-        server.propose_round_with(contributors, provider, rng);
+    auto proposal = server.propose_round_with(contributors, provider, rng);
     const double train_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       train_start)
             .count();
     MetricsRegistry::global().add_timer("experiment.round_train",
                                         train_seconds);
+    // The previous round's accuracy pass overlapped the training above;
+    // reclaim it before this round's defense evaluation starts.
+    join_pending();
 
     const bool injected =
         scheduled && (!adaptive || adaptive->submitted());
@@ -337,9 +379,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     const bool rejected = active && decision.reject;
     if (rejected) {
       server.discard(proposal);
+      defense.on_reject();
     } else {
-      server.commit(proposal);
-      defense.on_commit(server.version(), proposal.candidate_params);
+      const std::uint64_t committed_version = server.commit(proposal);
+      defense.on_commit(committed_version, proposal.candidate_params);
+      if (pipeline) {
+        committed_params = std::make_shared<const ParamVec>(
+            std::move(proposal.candidate_params));
+      }
     }
 
     RoundRecord record;
@@ -351,7 +398,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     record.num_validators = decision.total_voters;
     record.eval_ms = eval_seconds * 1e3;
     record.train_ms = train_seconds * 1e3;
-    if (config.track_accuracy) {
+    if (config.track_accuracy && !pipeline) {
       record.main_accuracy = evaluate_confusion(server.global_model(),
                                                 scenario.task.test,
                                                 accuracy_ws)
@@ -361,6 +408,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                             scenario.backdoor.target_class, accuracy_ws);
     }
     result.rounds.push_back(record);
+    if (pipeline) {
+      // Launch this round's accuracy pass; it overlaps the next round's
+      // training and is joined right after propose_round_with returns.
+      RoundRecord* slot = &result.rounds.back();
+      pending_eval = ThreadPool::global().submit(
+          [slot, snapshot = committed_params, &scenario, &pipeline_model,
+           &pipeline_ws] {
+            const ScopedTimer eval_timer("experiment.round_accuracy");
+            MetricsRegistry::global().add_counter(
+                "experiment.pipelined_evals");
+            pipeline_model->set_parameters(*snapshot);
+            slot->main_accuracy =
+                evaluate_confusion(*pipeline_model, scenario.task.test,
+                                   pipeline_ws)
+                    .accuracy();
+            slot->backdoor_accuracy = backdoor_accuracy(
+                *pipeline_model, scenario.task.backdoor_test,
+                scenario.backdoor.target_class, pipeline_ws);
+          });
+    }
 
     if (injected) {
       InjectionRecord inj;
@@ -374,6 +441,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     }
   }
 
+  join_pending();  // last round's overlapped accuracy pass
   result.rates = compute_detection_rates(result.rounds);
   if (!result.rounds.empty() && config.track_accuracy) {
     result.final_main_accuracy = result.rounds.back().main_accuracy;

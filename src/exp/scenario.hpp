@@ -33,6 +33,11 @@ struct ScenarioConfig {
   /// Round-loop parallelism (FlConfig::parallel_updates). Off gives the
   /// serial baseline; results are bit-identical either way.
   bool parallel_rounds = true;
+  /// Overlap each round's test-set accuracy tracking with the next
+  /// round's client-update phase (run_experiment pipelining). Records
+  /// are bit-identical to the serial path — the evaluation reads an
+  /// immutable snapshot of the committed parameters either way.
+  bool pipeline_rounds = true;
   /// Overrides for the synthetic task (0 = keep preset).
   std::size_t train_per_class_override = 0;
   /// Override the preset's backdoor kind (e.g. kTrigger for the

@@ -115,7 +115,7 @@ ParamVec FlServer::aggregate_secure(
                            global_.num_params());
 }
 
-void FlServer::commit(const Proposal& proposal) {
+std::uint64_t FlServer::commit(const Proposal& proposal) {
   if (proposal.round != round_ + 1) {
     throw std::logic_error("FlServer::commit: stale proposal");
   }
@@ -124,6 +124,7 @@ void FlServer::commit(const Proposal& proposal) {
   ++round_;
   log_debug() << "round " << round_ << " committed (version " << version_
               << ")";
+  return version_;
 }
 
 void FlServer::discard(const Proposal& proposal) {

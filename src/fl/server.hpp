@@ -69,8 +69,9 @@ class FlServer {
   Proposal propose_round_with(const std::vector<std::size_t>& contributors,
                               UpdateProvider& provider, Rng& round_rng);
 
-  /// Installs the candidate as the new global model G^r.
-  void commit(const Proposal& proposal);
+  /// Installs the candidate as the new global model G^r; returns the
+  /// version assigned to it (feeds BaffleDefense::on_commit).
+  std::uint64_t commit(const Proposal& proposal);
 
   /// Rejects the candidate: the global model stays G^{r-1}; the round
   /// counter still advances (the paper restarts the round with the old

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <stdexcept>
 
 #include "tensor/kernels.hpp"
@@ -77,6 +78,40 @@ class GemmReport {
   return a0 + a_len * sizeof(float) <= b0 ||
          b0 + b_len * sizeof(float) <= a0;
 }
+
+/// Packing scratch, one buffer per (thread, GEMM nesting depth).
+///
+/// A plain thread_local buffer is not safe here: a large GEMM fans its
+/// row blocks out through parallel_for, whose waiter *help-drains* the
+/// pool queue. The stolen task can itself GEMM on this thread — with
+/// remote workers still reading this thread's panels for the outer
+/// call — so each nesting level must pack into its own buffer. Slots
+/// live in a deque (stable addresses across growth) and are reused
+/// once their level's row blocks have joined.
+class PackScratchLease {
+ public:
+  PackScratchLease() {
+    if (slots().size() <= depth()) slots().emplace_back();
+    buffer_ = &slots()[depth()];
+    ++depth();
+  }
+  ~PackScratchLease() { --depth(); }
+  PackScratchLease(const PackScratchLease&) = delete;
+  PackScratchLease& operator=(const PackScratchLease&) = delete;
+
+  PackedB& operator*() const { return *buffer_; }
+
+ private:
+  static std::deque<PackedB>& slots() {
+    thread_local std::deque<PackedB> s;
+    return s;
+  }
+  static std::size_t& depth() {
+    thread_local std::size_t d = 0;
+    return d;
+  }
+  PackedB* buffer_;
+};
 
 /// Packed-path executor shared by the three transpose configurations.
 void run_packed(const kernels::KernelTable& kt, const float* a,
@@ -187,10 +222,10 @@ void gemm_ab(ConstMatrixView a, const Matrix& b, Matrix& out) {
   const kernels::KernelTable& kt = kernels::active_table();
   if (kt.prefer_packed) {
     // Packing happens on the caller thread before any row-block fan-out;
-    // the scratch is reused (and regrown monotonically) across calls.
-    thread_local PackedB scratch;
-    pack_b_panels(b, scratch, /*version=*/0);
-    run_packed(kt, a.data(), /*a_row_stride=*/k, /*a_p_stride=*/1, scratch,
+    // the per-depth scratch is reused (and regrown monotonically).
+    const PackScratchLease scratch;
+    pack_b_panels(b, *scratch, /*version=*/0);
+    run_packed(kt, a.data(), /*a_row_stride=*/k, /*a_p_stride=*/1, *scratch,
                out, m, macs);
     return;
   }
@@ -220,11 +255,11 @@ void gemm_atb(const Matrix& a, const Matrix& b, Matrix& out) {
   const GemmReport report(macs, macs >= kParallelMacs);
   const kernels::KernelTable& kt = kernels::active_table();
   if (kt.prefer_packed) {
-    thread_local PackedB scratch;
-    pack_b_panels(b, scratch, /*version=*/0);
+    const PackScratchLease scratch;
+    pack_b_panels(b, *scratch, /*version=*/0);
     // A enters transposed: output row i reads column i of a.
     run_packed(kt, a.flat().data(), /*a_row_stride=*/1, /*a_p_stride=*/m,
-               scratch, out, m, macs);
+               *scratch, out, m, macs);
     return;
   }
   kernels::GemmRowArgs args;
@@ -253,10 +288,10 @@ void gemm_abt(const Matrix& a, const Matrix& b, Matrix& out) {
   const kernels::KernelTable& kt = kernels::active_table();
   if (kt.prefer_packed) {
     const GemmReport report(macs, macs >= kParallelMacs);
-    thread_local PackedB scratch;
-    pack_bt_panels(b, scratch);
+    const PackScratchLease scratch;
+    pack_bt_panels(b, *scratch);
     run_packed(kt, a.flat().data(), /*a_row_stride=*/k, /*a_p_stride=*/1,
-               scratch, out, m, macs);
+               *scratch, out, m, macs);
     return;
   }
   if (macs >= kParallelMacs) {

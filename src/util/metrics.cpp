@@ -40,6 +40,14 @@ std::uint64_t MetricsRegistry::timer_count(const std::string& name) const {
   return it == timers_.end() ? 0 : it->second.count;
 }
 
+double MetricsRegistry::timer_mean_ms(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = timers_.find(name);
+  if (it == timers_.end() || it->second.count == 0) return 0.0;
+  return it->second.total_seconds * 1e3 /
+         static_cast<double>(it->second.count);
+}
+
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
   std::lock_guard lock(mutex_);
   std::vector<MetricSample> out;

@@ -48,6 +48,9 @@ class MetricsRegistry {
   double timer_seconds(const std::string& name) const;
   /// Number of samples accumulated into timer `name`.
   std::uint64_t timer_count(const std::string& name) const;
+  /// Mean milliseconds per sample of timer `name` (0 when never
+  /// recorded) — the per-round figure the CLI summaries print.
+  double timer_mean_ms(const std::string& name) const;
 
   /// All metrics, name-sorted (counters first is not guaranteed).
   std::vector<MetricSample> snapshot() const;

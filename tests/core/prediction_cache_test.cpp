@@ -95,5 +95,43 @@ TEST(PredictionCache, InsertOverwritesSameVersion) {
   EXPECT_EQ(cache.find(1)->count(2, 2), 1u);
 }
 
+TEST(PredictionCache, PromoteBindsMatrixAndCounts) {
+  PredictionCache cache;
+  cache.promote(4, cm_with(1, 1));
+  EXPECT_EQ(cache.promotions(), 1u);
+  ASSERT_NE(cache.find(4), nullptr);
+  EXPECT_EQ(cache.find(4)->count(1, 1), 1u);
+  // A promoted entry is a plain cache entry afterwards: get_or_eval
+  // hits it without re-evaluating.
+  int evals = 0;
+  cache.get_or_eval(4, [&] {
+    ++evals;
+    return cm_with(0, 0);
+  });
+  EXPECT_EQ(evals, 0);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PredictionCache, PromoteEvictsLikeInsertWhenFull) {
+  PredictionCache cache(2);
+  cache.insert(1, cm_with(0, 0));
+  cache.insert(2, cm_with(0, 0));
+  cache.promote(3, cm_with(2, 2));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(1), nullptr);  // smallest version evicted
+  ASSERT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(cache.find(3)->count(2, 2), 1u);
+}
+
+TEST(PredictionCache, OverwriteAtCapacityDoesNotEvict) {
+  PredictionCache cache(2);
+  cache.insert(1, cm_with(0, 0));
+  cache.insert(2, cm_with(0, 0));
+  cache.insert(2, cm_with(2, 2));  // overwrite, not a new entry
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2)->count(2, 2), 1u);
+}
+
 }  // namespace
 }  // namespace baffle

@@ -153,7 +153,8 @@ TEST_F(ValidatorFixture, AbstainsOnShortHistory) {
 
 TEST_F(ValidatorFixture, AbstainsOnEmptyAndSingletonHistory) {
   Validator v = make_validator();
-  EXPECT_TRUE(v.validate(genuine_next(), {}).abstained);
+  EXPECT_TRUE(
+      v.validate(genuine_next(), std::span<const GlobalModel>{}).abstained);
   const std::vector<GlobalModel> one(history_->begin(),
                                      history_->begin() + 1);
   EXPECT_TRUE(v.validate(genuine_next(), one).abstained);

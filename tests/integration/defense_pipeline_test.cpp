@@ -88,6 +88,7 @@ struct Pipeline {
     }
     if (decision.reject) {
       server.discard(proposal);
+      defense.on_reject();
     } else {
       server.commit(proposal);
       defense.on_commit(server.version(), proposal.candidate_params);
@@ -138,7 +139,7 @@ TEST(DefensePipeline, VersionsInWindowAreStrictlyIncreasing) {
   for (int i = 0; i < 6; ++i) p.honest_round();
   const auto window = p.defense.current_window();
   for (std::size_t i = 1; i < window.size(); ++i) {
-    EXPECT_GT(window[i].version, window[i - 1].version);
+    EXPECT_GT(window[i]->version, window[i - 1]->version);
   }
 }
 

@@ -222,21 +222,32 @@ int main(int argc, char** argv) {
   const std::uint64_t trains = registry.timer_count("experiment.round_train");
   if (trains > 0) {
     std::printf("round training: %.2f ms/round over %llu rounds\n",
-                1e3 * registry.timer_seconds("experiment.round_train") /
-                    static_cast<double>(trains),
+                registry.timer_mean_ms("experiment.round_train"),
                 static_cast<unsigned long long>(trains));
   }
   const std::uint64_t evals = registry.timer_count("experiment.round_eval");
   if (evals > 0) {
     std::printf("defense evaluation: %.2f ms/round over %llu rounds "
-                "(cache: %llu hits / %llu misses)\n",
-                1e3 * registry.timer_seconds("experiment.round_eval") /
-                    static_cast<double>(evals),
+                "(cache: %llu hits / %llu misses, %llu promotions, "
+                "%llu candidate reuses)\n",
+                registry.timer_mean_ms("experiment.round_eval"),
                 static_cast<unsigned long long>(evals),
                 static_cast<unsigned long long>(
                     registry.counter("prediction_cache.hits")),
                 static_cast<unsigned long long>(
-                    registry.counter("prediction_cache.misses")));
+                    registry.counter("prediction_cache.misses")),
+                static_cast<unsigned long long>(
+                    registry.counter("prediction_cache.promotions")),
+                static_cast<unsigned long long>(
+                    registry.counter("validator.candidate_reuse")));
+  }
+  const std::uint64_t overlapped =
+      registry.counter("experiment.pipelined_evals");
+  if (overlapped > 0) {
+    std::printf("accuracy tracking: %llu rounds overlapped with the next "
+                "round's training (%.2f ms/round hidden)\n",
+                static_cast<unsigned long long>(overlapped),
+                registry.timer_mean_ms("experiment.round_accuracy"));
   }
   if (flags.has("metrics")) {
     const std::string path = flags.str("metrics", "metrics.csv");

@@ -13,6 +13,9 @@
 #   tools/check.sh --ubsan    # also build with -fsanitize=undefined and
 #                             # run the numeric suites on both arms
 #   tools/check.sh --tidy     # also run clang-tidy (skips if absent)
+#   tools/check.sh --bench-smoke
+#                             # also run defense_bench --smoke and fail
+#                             # on an incremental/baseline parity break
 #   tools/check.sh --all      # every stage above
 #
 # Each stage reports one PASS/FAIL/SKIP line; the script stops at the
@@ -31,6 +34,7 @@ RUN_ASAN=0
 RUN_TSAN=0
 RUN_UBSAN=0
 RUN_TIDY=0
+RUN_BENCH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --checks) RUN_CHECKS=1 ;;
@@ -38,7 +42,9 @@ for arg in "$@"; do
     --tsan) RUN_TSAN=1 ;;
     --ubsan) RUN_UBSAN=1 ;;
     --tidy) RUN_TIDY=1 ;;
-    --all) RUN_CHECKS=1; RUN_ASAN=1; RUN_TSAN=1; RUN_UBSAN=1; RUN_TIDY=1 ;;
+    --bench-smoke) RUN_BENCH_SMOKE=1 ;;
+    --all) RUN_CHECKS=1; RUN_ASAN=1; RUN_TSAN=1; RUN_UBSAN=1; RUN_TIDY=1
+           RUN_BENCH_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -90,6 +96,19 @@ stage "tests (dispatched + forced-scalar)" \
   run_suite_both_arms build-strict
 stage "repo lint (tools/baffle_lint.py)" \
   python3 tools/baffle_lint.py --root .
+
+run_bench_smoke() {
+  # One rep per sweep cell; exits nonzero when the incremental engine's
+  # (vote, φ, τ) triples diverge from fresh recomputation. Runs inside
+  # build-strict so the smoke JSON does not clobber the committed
+  # full-run BENCH_defense.json.
+  cmake --build build-strict -j "$JOBS" --target defense_bench &&
+    (cd build-strict && ./bench/defense_bench --smoke)
+}
+
+if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
+  stage "defense bench smoke (incremental parity)" run_bench_smoke
+fi
 
 if [[ "$RUN_CHECKS" -eq 1 ]]; then
   stage "contracts build (BAFFLE_CHECKS=ON)" \
