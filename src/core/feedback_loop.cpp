@@ -1,6 +1,7 @@
 #include "core/feedback_loop.hpp"
 
 #include <numeric>
+#include <stdexcept>
 
 #include "util/contracts.hpp"
 
@@ -57,6 +58,26 @@ FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
   decision.reject_votes = reject_votes;
   decision.reject = reject_votes >= quorum;
   return decision;
+}
+
+void validate_decoded_votes(const std::vector<int>& votes,
+                            const std::vector<std::size_t>& voter_ids) {
+  if (votes.size() != voter_ids.size()) {
+    throw std::invalid_argument(
+        "decoded votes: votes/voter_ids length mismatch");
+  }
+  for (int v : votes) {
+    if (v != 0 && v != 1) {
+      throw std::invalid_argument("decoded votes: vote outside {0,1}");
+    }
+  }
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(voter_ids.size());
+  for (std::size_t id : voter_ids) {
+    if (!seen.insert(id).second) {
+      throw std::invalid_argument("decoded votes: duplicate voter id");
+    }
+  }
 }
 
 void validate_feedback_config(const FeedbackConfig& config,

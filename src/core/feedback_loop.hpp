@@ -61,6 +61,15 @@ FeedbackDecision decide_quorum(DefenseMode mode, std::size_t quorum,
                                int server_vote,
                                bool server_abstained = false);
 
+/// Protocol-boundary guard for votes that arrived off the wire (the
+/// transport-backed round loop, src/net): rejects a votes/voter_ids
+/// length mismatch, votes outside {0,1}, and duplicate voter ids with
+/// std::invalid_argument BEFORE they can reach the tally. decide_quorum
+/// itself only debug-checks vote values — in-process callers construct
+/// them — so decoded input must pass through here first.
+void validate_decoded_votes(const std::vector<int>& votes,
+                            const std::vector<std::size_t>& voter_ids);
+
 /// Validates a defender configuration against the round size n it will
 /// run with (Algorithm 1's q <= n, plus the window/threshold sanity the
 /// validator depends on). Throws ContractViolation on a bad config.

@@ -13,6 +13,7 @@
 
 #include "attack/backdoor.hpp"
 #include "attack/dba.hpp"
+#include "net/round_driver.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -273,6 +274,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     malicious_ids.insert(dba->colluders().begin(), dba->colluders().end());
   }
 
+  // Transport mode: the same rounds, but every exchange crosses the
+  // wire protocol — actors per client, typed frames, exact byte
+  // accounting. Bit-identical records by construction (DESIGN.md §13).
+  std::optional<InProcTransport> transport;
+  std::optional<TransportRoundDriver> driver;
+  if (config.transport) {
+    transport.emplace();
+    driver.emplace(*transport, server, defense, scenario.clients, provider,
+                   malicious_ids, config.malicious_vote);
+  }
+
   const ClientSampler sampler(scenario.fl.total_clients,
                               scenario.fl.clients_per_round);
   ExperimentResult result;
@@ -333,7 +345,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     if (dba) dba->arm(scheduled);
 
     const auto train_start = std::chrono::steady_clock::now();
-    auto proposal = server.propose_round_with(contributors, provider, rng);
+    auto proposal = driver
+                        ? driver->propose_round(contributors, rng)
+                        : server.propose_round_with(contributors, provider,
+                                                    rng);
     const double train_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       train_start)
@@ -366,9 +381,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
         });
       }
       const auto eval_start = std::chrono::steady_clock::now();
-      decision = defense.evaluate(proposal.candidate_params, validators,
-                                  scenario.clients, malicious_ids,
-                                  config.malicious_vote);
+      decision = driver
+                     ? driver->evaluate(proposal, validators)
+                     : defense.evaluate(proposal.candidate_params,
+                                        validators, scenario.clients,
+                                        malicious_ids,
+                                        config.malicious_vote);
       eval_seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - eval_start)
                          .count();
@@ -380,9 +398,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     if (rejected) {
       server.discard(proposal);
       defense.on_reject();
+      if (driver) {
+        driver->finish_round(proposal, /*committed=*/false,
+                             server.version(), decision);
+      }
     } else {
       const std::uint64_t committed_version = server.commit(proposal);
       defense.on_commit(committed_version, proposal.candidate_params);
+      if (driver) {
+        driver->finish_round(proposal, /*committed=*/true,
+                             committed_version, decision);
+      }
       if (pipeline) {
         committed_params = std::make_shared<const ParamVec>(
             std::move(proposal.candidate_params));
@@ -442,6 +468,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
 
   join_pending();  // last round's overlapped accuracy pass
+  if (driver) {
+    result.comm = driver->tracker().stats();
+    result.wire_bytes = driver->wire_bytes();
+  }
   result.rates = compute_detection_rates(result.rounds);
   if (!result.rounds.empty() && config.track_accuracy) {
     result.final_main_accuracy = result.rounds.back().main_accuracy;

@@ -5,6 +5,7 @@
 
 #include "core/defense.hpp"
 #include "exp/scenario.hpp"
+#include "fl/comm.hpp"
 #include "exp/schedule.hpp"
 #include "attack/adaptive.hpp"
 #include "metrics/rates.hpp"
@@ -65,6 +66,13 @@ struct ExperimentConfig {
   /// Evaluate main/backdoor accuracy each round (needed for Fig. 4
   /// series; costs one test-set pass per round).
   bool track_accuracy = true;
+
+  /// Run every round through the wire protocol and round server
+  /// (src/net): typed frames over an in-process transport, per-client
+  /// actor sessions, straggler deadlines, and exact per-frame
+  /// communication accounting in ExperimentResult::comm. RoundRecords
+  /// are bit-identical to the in-process path (DESIGN.md §13).
+  bool transport = false;
 };
 
 /// One injection the attacker actually submitted.
@@ -84,6 +92,11 @@ struct ExperimentResult {
   double final_main_accuracy = 0.0;
   double final_backdoor_accuracy = 0.0;
   std::size_t adaptive_skipped = 0;  // rounds the adaptive attacker sat out
+  /// Transport mode only: exact per-category wire traffic (§VI-D
+  /// measured, not estimated) and its channel-counted ground truth —
+  /// the two match byte-for-byte. Zero otherwise.
+  CommStats comm;
+  std::uint64_t wire_bytes = 0;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config,

@@ -7,48 +7,75 @@
 namespace baffle {
 
 namespace {
-constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
-}
+/// last_sync_commit_ sentinel: the client has never received history.
+constexpr std::uint64_t kNeverSynced =
+    std::numeric_limits<std::uint64_t>::max();
+}  // namespace
 
 CommTracker::CommTracker(std::size_t num_clients, std::size_t model_bytes,
                          std::size_t history_len, double compression)
     : model_bytes_(model_bytes),
       history_len_(history_len),
       compression_(compression),
-      last_sync_round_(num_clients, kNever) {
+      last_sync_commit_(num_clients, kNeverSynced) {
   if (compression < 1.0) {
     throw std::invalid_argument("CommTracker: compression < 1");
   }
 }
 
 void CommTracker::record_round(const std::vector<std::size_t>& selected,
-                               bool defense_active) {
-  ++current_round_;
+                               bool defense_active, bool committed) {
   ++stats_.rounds;
   for (std::size_t id : selected) {
-    if (id >= last_sync_round_.size()) {
+    if (id >= last_sync_commit_.size()) {
       throw std::out_of_range("CommTracker: unknown client id");
     }
     stats_.model_download_bytes += model_bytes_;
     stats_.update_upload_bytes += model_bytes_;
     if (!defense_active) continue;
-    // History delta: a client selected r rounds ago already holds all
-    // but min(r, history_len) of the ℓ+1 models.
+    // History delta, measured on the commit clock: a client that last
+    // synced k *commits* ago already holds all but min(k, history_len)
+    // of the ℓ+1 window models. Rounds rejected in between moved no
+    // model into the window, so they cost nothing here — and a client
+    // validating in consecutive committed rounds needs nothing either,
+    // because the candidate it just judged (already paid for as a model
+    // download) became the window's newest entry.
     std::uint64_t missing = history_len_;
-    if (last_sync_round_[id] != kNever) {
-      missing = std::min<std::uint64_t>(history_len_,
-                                        current_round_ - last_sync_round_[id]);
+    if (last_sync_commit_[id] != kNeverSynced) {
+      missing = std::min<std::uint64_t>(
+          history_len_, commit_clock_ - last_sync_commit_[id]);
     }
     stats_.history_bytes += static_cast<std::uint64_t>(
         static_cast<double>(missing * model_bytes_) / compression_);
-    last_sync_round_[id] = current_round_;
+    // After this round the client holds the pre-round window plus, on a
+    // commit, the candidate it validated.
+    last_sync_commit_[id] = commit_clock_ + (committed ? 1 : 0);
   }
+  if (committed) ++commit_clock_;
+}
+
+void CommTracker::add_bytes(CommCategory category, std::uint64_t bytes) {
+  switch (category) {
+    case CommCategory::kModelDownload:
+      stats_.model_download_bytes += bytes;
+      return;
+    case CommCategory::kUpdateUpload:
+      stats_.update_upload_bytes += bytes;
+      return;
+    case CommCategory::kHistory:
+      stats_.history_bytes += bytes;
+      return;
+    case CommCategory::kControl:
+      stats_.control_bytes += bytes;
+      return;
+  }
+  throw std::invalid_argument("CommTracker: unknown category");
 }
 
 double CommTracker::history_bytes_per_client() const {
-  if (last_sync_round_.empty()) return 0.0;
+  if (last_sync_commit_.empty()) return 0.0;
   return static_cast<double>(stats_.history_bytes) /
-         static_cast<double>(last_sync_round_.size());
+         static_cast<double>(last_sync_commit_.size());
 }
 
 }  // namespace baffle

@@ -4,8 +4,19 @@
 // Tracks bytes moved between server and clients: per-round model
 // download, update upload, and — with BaFFLe enabled — the history of
 // ℓ+1 accepted models shipped to each validating client. A client that
-// was selected within the last ℓ rounds only needs the history *delta*
-// (the paper's 40MB-per-20-rounds amortization argument).
+// validated recently only needs the history *delta* (the paper's
+// 40MB-per-20-rounds amortization argument).
+//
+// Two feeding modes share the same CommStats:
+//   - record_round(): the estimated path — per-client byte costs derived
+//     from the nominal model size. The history delta is measured on the
+//     *commit clock*: rejected rounds do not advance the accepted-model
+//     window, so a returning validator is charged only for the commits
+//     it actually missed.
+//   - add_bytes()/add_round(): the exact path — the transport-backed
+//     round loop (src/net) reports every frame at its actually-
+//     serialized size, attributed by CommCategory. Totals then match
+//     the channel byte counters bit for bit.
 
 #include <cstddef>
 #include <cstdint>
@@ -14,14 +25,24 @@
 namespace baffle {
 
 struct CommStats {
-  std::uint64_t model_download_bytes = 0;   // G sent to contributors
+  std::uint64_t model_download_bytes = 0;   // G / candidate to clients
   std::uint64_t update_upload_bytes = 0;    // (masked) updates to server
   std::uint64_t history_bytes = 0;          // model history to validators
+  std::uint64_t control_bytes = 0;          // votes + round results
   std::uint64_t rounds = 0;
 
   std::uint64_t total_bytes() const {
-    return model_download_bytes + update_upload_bytes + history_bytes;
+    return model_download_bytes + update_upload_bytes + history_bytes +
+           control_bytes;
   }
+};
+
+/// Traffic class a wire frame is attributed to (exact accounting).
+enum class CommCategory {
+  kModelDownload,
+  kUpdateUpload,
+  kHistory,
+  kControl,
 };
 
 class CommTracker {
@@ -36,8 +57,16 @@ class CommTracker {
   /// Accounts one round: every selected client downloads G and uploads
   /// an update; if the defense is on, each also receives the part of the
   /// history it does not already hold from a previous selection.
+  /// `committed` reports the round's outcome — a rejected round leaves
+  /// the accepted-model window unchanged, so it advances the round
+  /// count but not the history clock.
   void record_round(const std::vector<std::size_t>& selected,
-                    bool defense_active);
+                    bool defense_active, bool committed = true);
+
+  /// Exact accounting: one transport-driven round started.
+  void add_round() { ++stats_.rounds; }
+  /// Exact accounting: `bytes` of serialized frames in `category`.
+  void add_bytes(CommCategory category, std::uint64_t bytes);
 
   const CommStats& stats() const { return stats_; }
 
@@ -49,9 +78,10 @@ class CommTracker {
   std::size_t history_len_;
   double compression_;
   CommStats stats_;
-  // last round at which each client synced the history; SIZE_MAX = never
-  std::vector<std::uint64_t> last_sync_round_;
-  std::uint64_t current_round_ = 0;
+  /// Commit-clock value (number of accepted models) at each client's
+  /// last history sync; kNeverSynced (max uint64) = never synced.
+  std::vector<std::uint64_t> last_sync_commit_;
+  std::uint64_t commit_clock_ = 0;
 };
 
 }  // namespace baffle

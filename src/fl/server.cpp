@@ -70,6 +70,19 @@ FlServer::Proposal FlServer::propose_round_with(
   } else {
     for (std::size_t i = 0; i < contributors.size(); ++i) compute_one(i);
   }
+  return aggregate_updates(std::move(updates), contributors);
+}
+
+FlServer::Proposal FlServer::aggregate_updates(
+    std::vector<ParamVec> updates,
+    const std::vector<std::size_t>& contributors) {
+  if (contributors.empty()) {
+    throw std::invalid_argument("aggregate_updates: no contributors");
+  }
+  if (updates.size() != contributors.size()) {
+    throw std::invalid_argument(
+        "aggregate_updates: one update per contributor");
+  }
   check_update_sizes(updates, global_.num_params());
 
   ParamVec delta;

@@ -69,6 +69,15 @@ class FlServer {
   Proposal propose_round_with(const std::vector<std::size_t>& contributors,
                               UpdateProvider& provider, Rng& round_rng);
 
+  /// Aggregation half of propose_round_with: combines already-collected
+  /// updates (aligned index-for-index with `contributors`) into the
+  /// round's candidate, through secure aggregation when enabled. The
+  /// transport-backed round server (src/net) collects updates over
+  /// channels and feeds them here, so both paths aggregate through one
+  /// code path — bit-identically.
+  Proposal aggregate_updates(std::vector<ParamVec> updates,
+                             const std::vector<std::size_t>& contributors);
+
   /// Installs the candidate as the new global model G^r; returns the
   /// version assigned to it (feeds BaffleDefense::on_commit).
   std::uint64_t commit(const Proposal& proposal);

@@ -1,0 +1,144 @@
+#include "net/client_actor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace baffle {
+
+ClientActor::ClientActor(ClientActorConfig config, MlpConfig arch,
+                         Dataset shard, ValidatorConfig validator_config,
+                         UpdateProvider* provider,
+                         std::shared_ptr<Channel> channel)
+    : config_(config),
+      provider_(provider),
+      channel_(std::move(channel)),
+      model_(arch) {
+  if (provider_ == nullptr) {
+    throw std::invalid_argument("ClientActor: null update provider");
+  }
+  if (channel_ == nullptr) {
+    throw std::invalid_argument("ClientActor: null channel");
+  }
+  if (!shard.empty()) {
+    validator_.emplace(std::move(shard), std::move(arch), validator_config);
+  }
+}
+
+WireMessage ClientActor::recv_expect(MsgType expected) {
+  auto frame = channel_->recv_for(config_.recv_timeout);
+  if (!frame) {
+    throw std::runtime_error(std::string("ClientActor: timed out waiting "
+                                         "for ") +
+                             msg_type_name(expected));
+  }
+  WireMessage msg = decode_frame(*frame);
+  const auto actual = static_cast<MsgType>(
+      static_cast<std::uint8_t>(msg.index()) + 1);
+  if (actual != expected) {
+    throw WireError(std::string("ClientActor: expected ") +
+                    msg_type_name(expected) + ", got " +
+                    msg_type_name(actual));
+  }
+  return msg;
+}
+
+void ClientActor::handle_training(Rng rng) {
+  const auto broadcast =
+      std::get<ModelBroadcast>(recv_expect(MsgType::kModelBroadcast));
+  if (broadcast.purpose != ModelPurpose::kTraining) {
+    throw WireError("ClientActor: training phase got a candidate model");
+  }
+  model_.set_parameters(broadcast.params);
+
+  ClientUpdate reply;
+  reply.round = broadcast.round;
+  reply.client_id = config_.client_id;
+  reply.update =
+      provider_->update_for(config_.client_id, model_, rng, train_ws_);
+  channel_->send(encode_frame(reply));
+}
+
+void ClientActor::merge_history(HistoryDelta delta) {
+  for (auto& entry : delta.entries) {
+    if (!window_.empty() && entry.version <= window_.back().version) {
+      throw WireError(
+          "ClientActor: history delta regresses behind local window");
+    }
+    window_.push_back(
+        GlobalModel{entry.version, std::move(entry.params)});
+  }
+  trim_window();
+}
+
+void ClientActor::trim_window() {
+  const std::size_t cap = config_.lookback + 1;
+  if (window_.size() > cap) {
+    window_.erase(window_.begin(),
+                  window_.begin() +
+                      static_cast<std::ptrdiff_t>(window_.size() - cap));
+  }
+}
+
+void ClientActor::handle_validation() {
+  auto delta = std::get<HistoryDelta>(recv_expect(MsgType::kHistoryDelta));
+  const std::uint64_t round = delta.round;
+  merge_history(std::move(delta));
+
+  auto candidate =
+      std::get<ModelBroadcast>(recv_expect(MsgType::kModelBroadcast));
+  if (candidate.purpose != ModelPurpose::kCandidate) {
+    throw WireError("ClientActor: validation phase got a training model");
+  }
+  if (candidate.round != round) {
+    throw WireError("ClientActor: candidate round mismatches history delta");
+  }
+
+  // Honest verdict first; a malicious actor then lies on the wire. The
+  // abstained flag always reports the honest state — the server counts
+  // abstentions independently of vote manipulation, exactly like the
+  // in-process path.
+  ValidationOutcome outcome;  // vote 0 / no abstention by default
+  bool abstained = true;      // no data at all: nothing to judge
+  if (validator_) {
+    outcome = validator_->validate(candidate.params, window_);
+    abstained = outcome.abstained;
+  }
+  int wire_vote = outcome.vote;
+  if (config_.malicious && config_.strategy != VoteStrategy::kHonest) {
+    wire_vote = config_.strategy == VoteStrategy::kAlwaysReject ? 1 : 0;
+  }
+
+  pending_ = PendingCandidate{round, std::move(candidate.params)};
+
+  Vote vote;
+  vote.round = round;
+  vote.client_id = config_.client_id;
+  vote.vote = static_cast<std::uint8_t>(wire_vote);
+  vote.abstained = abstained ? 1 : 0;
+  vote.phi = outcome.phi;
+  vote.tau = outcome.tau;
+  channel_->send(encode_frame(vote));
+}
+
+void ClientActor::handle_round_result() {
+  const auto result =
+      std::get<RoundResult>(recv_expect(MsgType::kRoundResult));
+  const bool judged_this_round =
+      pending_ && pending_->round == result.round;
+  if (result.committed != 0) {
+    if (judged_this_round) {
+      window_.push_back(GlobalModel{result.version,
+                                    std::move(pending_->params)});
+      trim_window();
+      if (validator_) {
+        validator_->notify_commit(result.version,
+                                  window_.back().params);
+      }
+    }
+  } else if (judged_this_round && validator_) {
+    validator_->notify_reject();
+  }
+  pending_.reset();
+}
+
+}  // namespace baffle

@@ -1,0 +1,98 @@
+#pragma once
+// Simulated FL client behind a Channel: the peer the round server talks
+// to. One actor persists across rounds and owns everything a real
+// client process would — its data shard, its Validator (with the
+// cross-round prediction/LOF caches of DESIGN.md §12), and its local
+// copy of the accepted-model window, kept in sync through HistoryDelta
+// messages (§VI-D: a recently-selected validator receives only the
+// models it is missing).
+//
+// The actor's verdicts are bit-identical to the in-process
+// BaffleDefense path: VALIDATE depends only on (candidate, window,
+// shard, config), all of which this side reconstructs exactly, and the
+// incremental validator is bit-identical to fresh recomputation. That
+// equivalence is what lets run_experiment swap the transport in without
+// perturbing a single RoundRecord (tests/exp/transport_parity_test).
+//
+// Handlers are blocking: each receives the message(s) of its phase from
+// the channel (the server sends before the actor task is scheduled, so
+// in-process runs never actually wait) and replies. A malicious actor
+// lies on the wire — it applies its VoteStrategy to the vote it sends,
+// which is where vote manipulation happens in a deployment; the server
+// never rewrites votes.
+
+#include <optional>
+
+#include "attack/malicious_voter.hpp"
+#include "core/validate.hpp"
+#include "net/transport.hpp"
+
+namespace baffle {
+
+struct ClientActorConfig {
+  std::size_t client_id = 0;
+  /// Window retention ℓ+1 is lookback + 1 (mirrors ModelHistory).
+  std::size_t lookback = 20;
+  /// Adversary-controlled actor: applies `strategy` to outgoing votes.
+  bool malicious = false;
+  VoteStrategy strategy = VoteStrategy::kHonest;
+  /// How long a handler waits for its expected message before giving up
+  /// (a deployment's defense against a silent server).
+  std::chrono::milliseconds recv_timeout{30'000};
+};
+
+class ClientActor {
+ public:
+  /// `shard` may be empty — the actor then abstains from every vote
+  /// (matching BaffleDefense::client_validator returning nullptr).
+  /// `provider` outlives the actor and is shared with other actors; its
+  /// update_for is thread-safe per the UpdateProvider contract.
+  ClientActor(ClientActorConfig config, MlpConfig arch, Dataset shard,
+              ValidatorConfig validator_config, UpdateProvider* provider,
+              std::shared_ptr<Channel> channel);
+
+  /// Training phase: receives ModelBroadcast(kTraining), trains through
+  /// the update provider with the caller-forked `rng`, sends
+  /// ClientUpdate. Safe to run concurrently across distinct actors.
+  void handle_training(Rng rng);
+
+  /// Validation phase: receives HistoryDelta then
+  /// ModelBroadcast(kCandidate), merges the delta into the local
+  /// window, runs VALIDATE (or abstains without data/history), applies
+  /// the malicious strategy if configured, sends Vote, and retains the
+  /// candidate pending the round result.
+  void handle_validation();
+
+  /// Round epilogue: receives RoundResult. On commit the retained
+  /// candidate is promoted into the local window (and the validator's
+  /// prediction cache); on reject it is dropped.
+  void handle_round_result();
+
+  std::size_t id() const { return config_.client_id; }
+  bool has_validator() const { return validator_.has_value(); }
+  /// Local copy of the accepted-model window, oldest first (tests).
+  const std::vector<GlobalModel>& window() const { return window_; }
+
+ private:
+  /// Receives one frame and decodes it, insisting on `expected` type.
+  WireMessage recv_expect(MsgType expected);
+  void merge_history(HistoryDelta delta);
+  void trim_window();
+
+  ClientActorConfig config_;
+  UpdateProvider* provider_;
+  std::shared_ptr<Channel> channel_;
+  Mlp model_;  // scratch: decoded broadcasts materialize here
+  TrainWorkspace train_ws_;
+  std::optional<Validator> validator_;  // nullopt: empty shard
+  std::vector<GlobalModel> window_;     // oldest first, ≤ lookback+1
+
+  /// Candidate judged this round, awaiting the server's verdict.
+  struct PendingCandidate {
+    std::uint64_t round = 0;
+    ParamVec params;
+  };
+  std::optional<PendingCandidate> pending_;
+};
+
+}  // namespace baffle

@@ -1,0 +1,112 @@
+#include "net/transport.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace baffle {
+
+namespace {
+
+/// Shared state of one in-process duplex link. Endpoint 0 and endpoint 1
+/// each send into their own queue and receive from the peer's.
+struct InProcLink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<WireBytes> queue[2];  // queue[i] holds frames sent BY end i
+  std::uint64_t bytes_sent[2] = {0, 0};
+  std::uint64_t bytes_received[2] = {0, 0};
+  bool closed = false;
+};
+
+class InProcChannel final : public Channel {
+ public:
+  InProcChannel(std::shared_ptr<InProcLink> link, int end)
+      : link_(std::move(link)), end_(end) {}
+
+  void send(WireBytes frame) override {
+    std::lock_guard<std::mutex> lock(link_->mutex);
+    if (link_->closed) {
+      throw std::runtime_error("InProcChannel: send on closed channel");
+    }
+    link_->bytes_sent[end_] += frame.size();
+    link_->queue[end_].push_back(std::move(frame));
+    link_->cv.notify_all();
+  }
+
+  std::optional<WireBytes> try_recv() override {
+    std::lock_guard<std::mutex> lock(link_->mutex);
+    return pop_locked();
+  }
+
+  std::optional<WireBytes> recv_for(
+      std::chrono::milliseconds timeout) override {
+    std::unique_lock<std::mutex> lock(link_->mutex);
+    const int peer = 1 - end_;
+    link_->cv.wait_for(lock, timeout, [&] {
+      return !link_->queue[peer].empty() || link_->closed;
+    });
+    return pop_locked();
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(link_->mutex);
+    link_->closed = true;
+    link_->cv.notify_all();
+  }
+
+  bool closed() const override {
+    std::lock_guard<std::mutex> lock(link_->mutex);
+    return link_->closed;
+  }
+
+  std::uint64_t bytes_sent() const override {
+    std::lock_guard<std::mutex> lock(link_->mutex);
+    return link_->bytes_sent[end_];
+  }
+
+  std::uint64_t bytes_received() const override {
+    std::lock_guard<std::mutex> lock(link_->mutex);
+    return link_->bytes_received[end_];
+  }
+
+ private:
+  /// Pops the next frame sent by the peer; caller holds the lock.
+  std::optional<WireBytes> pop_locked() {
+    const int peer = 1 - end_;
+    if (link_->queue[peer].empty()) return std::nullopt;
+    WireBytes frame = std::move(link_->queue[peer].front());
+    link_->queue[peer].pop_front();
+    link_->bytes_received[end_] += frame.size();
+    return frame;
+  }
+
+  std::shared_ptr<InProcLink> link_;
+  int end_;
+};
+
+}  // namespace
+
+DuplexChannel InProcTransport::connect() {
+  auto link = std::make_shared<InProcLink>();
+  DuplexChannel duplex;
+  duplex.server = std::make_shared<InProcChannel>(link, 0);
+  duplex.client = std::make_shared<InProcChannel>(link, 1);
+  return duplex;
+}
+
+SocketTransport::SocketTransport(std::string address)
+    : address_(std::move(address)) {
+  if (address_.empty()) {
+    throw std::invalid_argument("SocketTransport: empty address");
+  }
+}
+
+DuplexChannel SocketTransport::connect() {
+  throw std::runtime_error(
+      "SocketTransport: not available in this build (stub); use "
+      "InProcTransport");
+}
+
+}  // namespace baffle

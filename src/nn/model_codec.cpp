@@ -46,7 +46,8 @@ Mlp decode_model(std::span<const std::uint8_t> bytes) {
   }
   config.hidden_activation = static_cast<Activation>(act);
   Mlp model(config);
-  const auto params = r.f32_vec();
+  std::vector<float> params;
+  r.f32_vec_into(params);  // zero-copy on little-endian hosts
   if (params.size() != model.num_params()) {
     throw std::runtime_error("decode_model: parameter count mismatch");
   }

@@ -18,8 +18,13 @@ namespace baffle {
 /// Serializes architecture + parameters.
 std::vector<std::uint8_t> encode_model(const Mlp& model);
 
-/// Rebuilds a model from encode_model output. Throws std::runtime_error
-/// on malformed input.
+/// Rebuilds a model from encode_model output. Decoding is strict by
+/// design: the buffer must contain exactly one encoded model — bad
+/// magic, implausible dims, a parameter count that does not match the
+/// architecture, and trailing bytes all throw std::runtime_error
+/// (truncation throws std::out_of_range, from util/serialization). The
+/// parameter payload is bit-preserving: NaN, infinities, denormals and
+/// signed zeros survive the round trip exactly.
 Mlp decode_model(std::span<const std::uint8_t> bytes);
 
 /// Wire size in bytes of a model with the given parameter count (header

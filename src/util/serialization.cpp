@@ -22,9 +22,12 @@ T read_le(std::span<const std::uint8_t> bytes, std::size_t pos) {
   }
   return v;
 }
+
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
 }  // namespace
 
 void ByteWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+void ByteWriter::u16(std::uint16_t v) { append_le(bytes_, v); }
 void ByteWriter::u32(std::uint32_t v) { append_le(bytes_, v); }
 void ByteWriter::u64(std::uint64_t v) { append_le(bytes_, v); }
 void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
@@ -33,7 +36,14 @@ void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
 void ByteWriter::f32_span(std::span<const float> v) {
   u64(v.size());
-  for (float x : v) f32(x);
+  if constexpr (kLittleEndian) {
+    // float bit patterns already have wire layout on LE hosts; append
+    // the whole payload in one shot instead of 4 pushes per element.
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(float));
+  } else {
+    for (float x : v) f32(x);
+  }
 }
 
 void ByteWriter::str(const std::string& s) {
@@ -41,13 +51,37 @@ void ByteWriter::str(const std::string& s) {
   bytes_.insert(bytes_.end(), s.begin(), s.end());
 }
 
+void ByteWriter::raw(std::span<const std::uint8_t> bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
 void ByteReader::need(std::size_t n) {
   if (remaining() < n) throw std::out_of_range("ByteReader: truncated input");
+}
+
+std::size_t ByteReader::length_prefix(std::size_t elem_size,
+                                      const char* what) {
+  const std::uint64_t n = u64();
+  // Validate against remaining() BEFORE computing n * elem_size: the
+  // division cannot overflow, while the multiplication (or a later
+  // pos_ + n) would wrap for hostile prefixes near 2^64 and turn a
+  // truncated buffer into an over-read.
+  const std::uint64_t max_elems =
+      elem_size == 0 ? 0 : remaining() / elem_size;
+  if (n > max_elems) throw std::runtime_error(what);
+  return static_cast<std::size_t>(n);
 }
 
 std::uint8_t ByteReader::u8() {
   need(1);
   return bytes_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  const auto v = read_le<std::uint16_t>(bytes_, pos_);
+  pos_ += 2;
+  return v;
 }
 
 std::uint32_t ByteReader::u32() {
@@ -69,25 +103,38 @@ float ByteReader::f32() { return std::bit_cast<float>(u32()); }
 double ByteReader::f64() { return std::bit_cast<double>(u64()); }
 
 std::vector<float> ByteReader::f32_vec() {
-  const std::uint64_t n = u64();
-  if (n > remaining() / 4) {
-    throw std::runtime_error("ByteReader: implausible f32 vector length");
-  }
   std::vector<float> out;
-  out.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) out.push_back(f32());
+  f32_vec_into(out);
   return out;
 }
 
-std::string ByteReader::str() {
-  const std::uint64_t n = u64();
-  if (n > remaining()) {
-    throw std::runtime_error("ByteReader: implausible string length");
+void ByteReader::f32_vec_into(std::vector<float>& out) {
+  const std::size_t n =
+      length_prefix(sizeof(float), "ByteReader: implausible f32 vector length");
+  out.resize(n);
+  if (n == 0) return;  // keep memcpy away from an empty buffer's null base
+  if constexpr (kLittleEndian) {
+    std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = f32();
   }
-  need(n);
+}
+
+std::string ByteReader::str() {
+  const std::size_t n =
+      length_prefix(1, "ByteReader: implausible string length");
+  if (n == 0) return std::string();
   std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
   pos_ += n;
   return out;
+}
+
+std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
+  need(n);
+  const auto view = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return view;
 }
 
 }  // namespace baffle

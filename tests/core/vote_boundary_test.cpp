@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/feedback_loop.hpp"
+
+// Protocol-boundary tests: votes decoded off the wire must be rejected
+// before they reach the quorum tally if they carry duplicate voter ids,
+// out-of-range vote values, or a votes/ids length mismatch. In-process
+// callers construct votes themselves; transport-fed callers go through
+// validate_decoded_votes first.
+
+namespace baffle {
+namespace {
+
+TEST(VoteBoundary, WellFormedVotesPass) {
+  EXPECT_NO_THROW(validate_decoded_votes({1, 0, 1}, {3, 7, 9}));
+  EXPECT_NO_THROW(validate_decoded_votes({}, {}));
+}
+
+TEST(VoteBoundary, LengthMismatchRejected) {
+  EXPECT_THROW(validate_decoded_votes({1, 0}, {3}), std::invalid_argument);
+  EXPECT_THROW(validate_decoded_votes({1}, {3, 4}), std::invalid_argument);
+  EXPECT_THROW(validate_decoded_votes({}, {3}), std::invalid_argument);
+}
+
+TEST(VoteBoundary, VotesOutsideBinaryRangeRejected) {
+  EXPECT_THROW(validate_decoded_votes({2}, {0}), std::invalid_argument);
+  EXPECT_THROW(validate_decoded_votes({-1}, {0}), std::invalid_argument);
+  EXPECT_THROW(validate_decoded_votes({1, 0, 17}, {0, 1, 2}),
+               std::invalid_argument);
+}
+
+TEST(VoteBoundary, DuplicateVoterIdsRejected) {
+  EXPECT_THROW(validate_decoded_votes({1, 0}, {5, 5}), std::invalid_argument);
+  EXPECT_THROW(validate_decoded_votes({0, 1, 0}, {2, 9, 2}),
+               std::invalid_argument);
+}
+
+// A ballot-stuffing replay: the same client id voting "reject" twice
+// must not be able to reach the quorum. With the guard in place the
+// forged tally never happens; the legitimate tally below shows the
+// quorum would have flipped had the duplicate been admitted.
+TEST(VoteBoundary, ReplayedRejectVoteCannotFlipQuorum) {
+  const std::vector<int> forged{1, 1, 0};
+  const std::vector<std::size_t> forged_ids{5, 5, 6};
+  EXPECT_THROW(validate_decoded_votes(forged, forged_ids),
+               std::invalid_argument);
+
+  const std::vector<int> honest{1, 0};
+  const std::vector<std::size_t> honest_ids{5, 6};
+  validate_decoded_votes(honest, honest_ids);
+  const auto decision = decide_quorum(DefenseMode::kClientsOnly,
+                                      /*quorum=*/2, honest, honest_ids,
+                                      /*server_vote=*/0);
+  EXPECT_FALSE(decision.reject);  // 1 reject vote < q=2
+  const auto would_be = decide_quorum(DefenseMode::kClientsOnly, 2,
+                                      {1, 1, 0}, {5, 7, 6}, 0);
+  EXPECT_TRUE(would_be.reject);  // the duplicate would have met quorum
+}
+
+TEST(VoteBoundary, ValidatedVotesFeedQuorumUnchanged) {
+  const std::vector<int> votes{1, 1, 0, 1};
+  const std::vector<std::size_t> ids{0, 1, 2, 3};
+  validate_decoded_votes(votes, ids);
+  const auto decision = decide_quorum(DefenseMode::kClientsAndServer,
+                                      /*quorum=*/4, votes, ids,
+                                      /*server_vote=*/1);
+  EXPECT_TRUE(decision.reject);  // 3 client rejects + server = q
+  EXPECT_EQ(decision.reject_votes, 4u);
+  EXPECT_EQ(decision.total_voters, 5u);
+}
+
+}  // namespace
+}  // namespace baffle

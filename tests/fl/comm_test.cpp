@@ -21,21 +21,77 @@ TEST(CommTracker, FirstSelectionDownloadsFullHistory) {
   EXPECT_EQ(tracker.stats().history_bytes, 21u * 1000u);
 }
 
-TEST(CommTracker, ReselectionDownloadsOnlyDelta) {
+TEST(CommTracker, ConsecutiveValidationShipsNoHistory) {
   CommTracker tracker(10, 1000, 21);
-  tracker.record_round({4}, true);   // full history: 21 models
-  tracker.record_round({4}, true);   // 1 round later: 1 model missing
-  EXPECT_EQ(tracker.stats().history_bytes, 21u * 1000u + 1u * 1000u);
+  tracker.record_round({4}, true);  // full history: 21 models
+  // The candidate the client judged arrived as a model download and was
+  // promoted into its window on commit, so validating again in the very
+  // next round leaves nothing to ship.
+  tracker.record_round({4}, true);
+  EXPECT_EQ(tracker.stats().history_bytes, 21u * 1000u);
+}
+
+TEST(CommTracker, MissedCommitsShipExactlyTheDelta) {
+  CommTracker tracker(10, 1000, 21);
+  tracker.record_round({4}, true);
+  for (int i = 0; i < 3; ++i) tracker.record_round({5}, true);
+  tracker.record_round({4}, true);  // client 4 missed 3 commits
+  const std::uint64_t for_client4 = 21u * 1000u + 3u * 1000u;
+  const std::uint64_t for_client5 = 21u * 1000u;  // consecutive: deltas 0
+  EXPECT_EQ(tracker.stats().history_bytes, for_client4 + for_client5);
 }
 
 TEST(CommTracker, LongGapCapsAtFullHistory) {
   CommTracker tracker(10, 1000, 21);
   tracker.record_round({4}, true);
   for (int i = 0; i < 100; ++i) tracker.record_round({5}, true);
-  tracker.record_round({4}, true);  // 101 rounds later: capped at 21
+  tracker.record_round({4}, true);  // missed 100 commits: capped at 21
   const std::uint64_t for_client4 = 21u * 1000u + 21u * 1000u;
-  const std::uint64_t for_client5 = 21u * 1000u + 99u * 1000u;
+  const std::uint64_t for_client5 = 21u * 1000u;
   EXPECT_EQ(tracker.stats().history_bytes, for_client4 + for_client5);
+}
+
+TEST(CommTracker, RejectedRoundsDoNotAdvanceTheHistoryClock) {
+  CommTracker tracker(10, 1000, 21);
+  tracker.record_round({4}, true, /*committed=*/true);
+  // Rounds rejected while the client sat out moved nothing into the
+  // accepted-model window — re-syncing afterwards must be free.
+  tracker.record_round({5}, true, /*committed=*/false);
+  tracker.record_round({5}, true, /*committed=*/false);
+  const std::uint64_t before = tracker.stats().history_bytes;
+  tracker.record_round({4}, true, /*committed=*/false);
+  EXPECT_EQ(tracker.stats().history_bytes, before);
+}
+
+TEST(CommTracker, GapOfExactlyWindowLengthShipsFullWindowOnce) {
+  CommTracker tracker(10, 1000, 5);
+  tracker.record_round({4}, true);
+  // Exactly history_len commits pass the client by, with rejected
+  // rounds interleaved; only the commits count toward its gap, and the
+  // charge caps at one full window — not a round-counted overshoot.
+  for (int i = 0; i < 5; ++i) {
+    tracker.record_round({5}, true, /*committed=*/true);
+    tracker.record_round({5}, true, /*committed=*/false);
+  }
+  const std::uint64_t before = tracker.stats().history_bytes;
+  tracker.record_round({4}, true);
+  EXPECT_EQ(tracker.stats().history_bytes - before, 5u * 1000u);
+}
+
+TEST(CommTracker, ExactAccountingAttributesByCategory) {
+  CommTracker tracker(4, 1000, 21);
+  tracker.add_round();
+  tracker.add_bytes(CommCategory::kModelDownload, 10);
+  tracker.add_bytes(CommCategory::kUpdateUpload, 20);
+  tracker.add_bytes(CommCategory::kHistory, 30);
+  tracker.add_bytes(CommCategory::kControl, 40);
+  const auto& s = tracker.stats();
+  EXPECT_EQ(s.rounds, 1u);
+  EXPECT_EQ(s.model_download_bytes, 10u);
+  EXPECT_EQ(s.update_upload_bytes, 20u);
+  EXPECT_EQ(s.history_bytes, 30u);
+  EXPECT_EQ(s.control_bytes, 40u);
+  EXPECT_EQ(s.total_bytes(), 100u);
 }
 
 TEST(CommTracker, CompressionDividesHistoryBytes) {

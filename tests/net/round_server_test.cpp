@@ -1,0 +1,258 @@
+#include "net/round_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace baffle {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kParams = 3;
+
+RoundServerConfig fast_config() {
+  RoundServerConfig config;
+  config.update_timeout = 50ms;
+  config.vote_timeout = 50ms;
+  return config;
+}
+
+/// Server under test plus the client-side channel ends, hand-driven by
+/// the test body (no actors involved).
+struct Rig {
+  InProcTransport transport;
+  RoundServer server{fast_config(), kParams};
+  std::vector<std::shared_ptr<Channel>> clients;
+
+  explicit Rig(std::size_t n) {
+    for (std::size_t id = 0; id < n; ++id) {
+      auto pair = transport.connect();
+      server.add_session(id, pair.server);
+      clients.push_back(pair.client);
+    }
+  }
+
+  void send(std::size_t id, const WireMessage& msg) {
+    clients[id]->send(encode_frame(msg));
+  }
+
+  ClientUpdate update_from(std::size_t id, std::uint64_t round,
+                           float fill = 1.0f) {
+    ClientUpdate u;
+    u.round = round;
+    u.client_id = id;
+    u.update = ParamVec(kParams, fill);
+    return u;
+  }
+
+  Vote vote_from(std::size_t id, std::uint64_t round, std::uint8_t v) {
+    Vote vote;
+    vote.round = round;
+    vote.client_id = id;
+    vote.vote = v;
+    return vote;
+  }
+};
+
+ModelWindow window_of(std::initializer_list<std::uint64_t> versions) {
+  ModelWindow window;
+  for (std::uint64_t v : versions) {
+    window.push_back(std::make_shared<const GlobalModel>(
+        GlobalModel{v, ParamVec(kParams, static_cast<float>(v))}));
+  }
+  return window;
+}
+
+TEST(RoundServer, BroadcastsTrainingModelToContributors) {
+  Rig rig(3);
+  rig.server.broadcast_training(1, 0, ParamVec(kParams, 0.5f), {0, 2});
+  for (std::size_t id : {0u, 2u}) {
+    auto frame = rig.clients[id]->try_recv();
+    ASSERT_TRUE(frame) << "client " << id;
+    const auto m = std::get<ModelBroadcast>(decode_frame(*frame));
+    EXPECT_EQ(m.round, 1u);
+    EXPECT_EQ(m.purpose, ModelPurpose::kTraining);
+    EXPECT_EQ(m.params, ParamVec(kParams, 0.5f));
+  }
+  EXPECT_FALSE(rig.clients[1]->try_recv().has_value());
+}
+
+TEST(RoundServer, CollectsUpdatesInExpectedOrder) {
+  Rig rig(3);
+  // Arrival order 2, 0, 1 — collection reports expected order 0, 1, 2.
+  rig.send(2, rig.update_from(2, 1, 3.0f));
+  rig.send(0, rig.update_from(0, 1, 1.0f));
+  rig.send(1, rig.update_from(1, 1, 2.0f));
+  const auto got = rig.server.collect_updates(1, {0, 1, 2});
+  EXPECT_TRUE(got.dropped.empty());
+  ASSERT_EQ(got.responders, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(got.updates[0], ParamVec(kParams, 1.0f));
+  EXPECT_EQ(got.updates[2], ParamVec(kParams, 3.0f));
+  EXPECT_EQ(rig.server.protocol_stats().total_rejected(), 0u);
+}
+
+TEST(RoundServer, StragglerIsDroppedAtDeadline) {
+  Rig rig(2);
+  rig.send(0, rig.update_from(0, 1));
+  // Client 1 never answers.
+  const auto got = rig.server.collect_updates(1, {0, 1});
+  EXPECT_EQ(got.responders, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(got.dropped, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(rig.server.protocol_stats().timeouts, 1u);
+}
+
+TEST(RoundServer, AdmissionRejectsByReason) {
+  Rig rig(2);
+  rig.send(0, rig.update_from(0, /*round=*/9));  // wrong round
+  {
+    ClientUpdate u = rig.update_from(1, 1);
+    u.client_id = 0;  // claims another session's identity
+    rig.send(1, u);
+  }
+  {
+    ClientUpdate u = rig.update_from(0, 1);
+    u.update = ParamVec(kParams + 2, 0.0f);  // wrong length
+    rig.send(0, u);
+  }
+  rig.send(1, rig.vote_from(1, 1, 0));        // vote during update phase
+  rig.clients[0]->send(WireBytes{0xDE, 0xAD});  // garbage frame
+  const auto got = rig.server.collect_updates(1, {0, 1});
+  EXPECT_TRUE(got.responders.empty());
+  const auto& stats = rig.server.protocol_stats();
+  EXPECT_EQ(stats.wrong_round, 1u);
+  EXPECT_EQ(stats.wrong_client, 1u);
+  EXPECT_EQ(stats.bad_update_size, 1u);
+  EXPECT_EQ(stats.unexpected_type, 1u);
+  EXPECT_EQ(stats.decode_errors, 1u);
+  EXPECT_EQ(stats.total_rejected(), 5u);
+  EXPECT_EQ(stats.timeouts, 2u);  // neither produced an admissible update
+}
+
+TEST(RoundServer, DuplicateUpdateInSameBurstRejected) {
+  Rig rig(1);
+  rig.send(0, rig.update_from(0, 1, 1.0f));
+  rig.send(0, rig.update_from(0, 1, 9.0f));
+  const auto got = rig.server.collect_updates(1, {0});
+  ASSERT_EQ(got.updates.size(), 1u);
+  EXPECT_EQ(got.updates[0], ParamVec(kParams, 1.0f));  // first one wins
+  EXPECT_EQ(rig.server.protocol_stats().duplicates, 1u);
+}
+
+TEST(RoundServer, CollectsVotesAndRejectsDuplicates) {
+  Rig rig(2);
+  rig.send(0, rig.vote_from(0, 2, 1));
+  rig.send(0, rig.vote_from(0, 2, 0));  // replay: dropped
+  rig.send(1, rig.vote_from(1, 2, 0));
+  const auto got = rig.server.collect_votes(2, {0, 1});
+  ASSERT_EQ(got.responders, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(got.votes[0].vote, 1);
+  EXPECT_EQ(got.votes[1].vote, 0);
+  EXPECT_EQ(rig.server.protocol_stats().duplicates, 1u);
+}
+
+TEST(RoundServer, FirstValidationShipsFullWindowThenOnlyDeltas) {
+  Rig rig(1);
+  const ParamVec candidate(kParams, 9.0f);
+
+  EXPECT_EQ(rig.server.synced_version(0), RoundServer::kNeverSynced);
+  rig.server.send_validation(3, 4, candidate, window_of({1, 2, 3}), {0});
+  {
+    const auto delta =
+        std::get<HistoryDelta>(decode_frame(*rig.clients[0]->try_recv()));
+    ASSERT_EQ(delta.entries.size(), 3u);  // never synced → full window
+    EXPECT_EQ(delta.entries[0].version, 1u);
+    const auto m =
+        std::get<ModelBroadcast>(decode_frame(*rig.clients[0]->try_recv()));
+    EXPECT_EQ(m.purpose, ModelPurpose::kCandidate);
+    EXPECT_EQ(m.version, 4u);
+  }
+  EXPECT_EQ(rig.server.synced_version(0), 3u);
+
+  // Window advanced by one commit; only the new entry ships.
+  rig.server.send_validation(4, 5, candidate, window_of({2, 3, 4}), {0});
+  {
+    const auto delta =
+        std::get<HistoryDelta>(decode_frame(*rig.clients[0]->try_recv()));
+    ASSERT_EQ(delta.entries.size(), 1u);
+    EXPECT_EQ(delta.entries[0].version, 4u);
+  }
+  EXPECT_EQ(rig.server.synced_version(0), 4u);
+}
+
+TEST(RoundServer, CommitAdvancesValidatorSyncAndRejectDoesNot) {
+  Rig rig(2);
+  rig.server.send_validation(3, 4, ParamVec(kParams, 9.0f),
+                             window_of({1, 2, 3}), {0, 1});
+  RoundResult commit;
+  commit.round = 3;
+  commit.committed = 1;
+  commit.version = 4;
+  rig.server.finish_round(commit, {0, 1}, {0});
+  // Client 0 promoted the candidate it already holds; client 1 was not a
+  // validator this time (it stays at the shipped window head).
+  EXPECT_EQ(rig.server.synced_version(0), 4u);
+  EXPECT_EQ(rig.server.synced_version(1), 3u);
+
+  RoundResult reject;
+  reject.round = 4;
+  reject.committed = 0;
+  reject.version = 4;
+  rig.server.finish_round(reject, {0, 1}, {0, 1});
+  EXPECT_EQ(rig.server.synced_version(0), 4u);  // unchanged
+  EXPECT_EQ(rig.server.synced_version(1), 3u);
+
+  // Every participant got both results.
+  for (std::size_t id : {0u, 1u}) {
+    rig.clients[id]->try_recv();  // delta
+    rig.clients[id]->try_recv();  // candidate broadcast
+    const auto first =
+        std::get<RoundResult>(decode_frame(*rig.clients[id]->try_recv()));
+    EXPECT_EQ(first.committed, 1);
+    const auto second =
+        std::get<RoundResult>(decode_frame(*rig.clients[id]->try_recv()));
+    EXPECT_EQ(second.committed, 0);
+  }
+}
+
+TEST(RoundServer, TrackerTotalsMatchChannelByteCountsExactly) {
+  Rig rig(2);
+  CommTracker tracker(2, kParams * sizeof(float), 4);
+  rig.server.set_tracker(&tracker);
+  tracker.add_round();
+
+  rig.server.broadcast_training(1, 0, ParamVec(kParams, 0.5f), {0, 1});
+  rig.send(0, rig.update_from(0, 1));
+  rig.send(1, rig.update_from(1, 1));
+  rig.clients[1]->send(WireBytes{1, 2, 3});  // even junk bytes count
+  (void)rig.server.collect_updates(1, {0, 1});
+  rig.server.send_validation(1, 1, ParamVec(kParams, 1.0f),
+                             window_of({0}), {0, 1});
+  rig.send(0, rig.vote_from(0, 1, 0));
+  rig.send(1, rig.vote_from(1, 1, 1));
+  (void)rig.server.collect_votes(1, {0, 1});
+  RoundResult result;
+  result.round = 1;
+  result.committed = 1;
+  result.version = 1;
+  rig.server.finish_round(result, {0, 1}, {0, 1});
+
+  const auto& s = tracker.stats();
+  EXPECT_GT(s.model_download_bytes, 0u);
+  EXPECT_GT(s.update_upload_bytes, 0u);
+  EXPECT_GT(s.history_bytes, 0u);
+  EXPECT_GT(s.control_bytes, 0u);
+  EXPECT_EQ(s.total_bytes(), rig.server.wire_bytes());
+}
+
+TEST(RoundServer, RejectsDegenerateConstruction) {
+  EXPECT_THROW(RoundServer(fast_config(), 0), std::invalid_argument);
+  Rig rig(1);
+  EXPECT_THROW(rig.server.add_session(5, nullptr), std::invalid_argument);
+  EXPECT_THROW(rig.server.synced_version(42), std::out_of_range);
+  EXPECT_FALSE(rig.server.has_session(42));
+  EXPECT_TRUE(rig.server.has_session(0));
+}
+
+}  // namespace
+}  // namespace baffle

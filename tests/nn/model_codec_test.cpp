@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstring>
+#include <limits>
+
 #include "util/rng.hpp"
+#include "util/serialization.hpp"
 
 namespace baffle {
 namespace {
@@ -67,6 +72,75 @@ TEST(ModelCodec, DeterministicEncoding) {
   Rng rng(2);
   model.init(rng);
   EXPECT_EQ(encode_model(model), encode_model(model));
+}
+
+// The defense ships real trained weights, and a poisoned or diverged
+// model can legitimately carry NaN/Inf — the codec must move them
+// bit-exactly, not "clean them up".
+TEST(ModelCodec, NonFiniteWeightsRoundTripBitExact) {
+  Mlp model(config());
+  Rng rng(3);
+  model.init(rng);
+  auto params = model.parameters();
+  ASSERT_GE(params.size(), 5u);
+  params[0] = std::numeric_limits<float>::quiet_NaN();
+  params[1] = std::numeric_limits<float>::infinity();
+  params[2] = -std::numeric_limits<float>::infinity();
+  params[3] = std::numeric_limits<float>::denorm_min();
+  params[4] = -0.0f;
+  model.set_parameters(params);
+
+  const Mlp decoded = decode_model(encode_model(model));
+  const auto out = decoded.parameters();
+  ASSERT_EQ(out.size(), params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(out[i]),
+              std::bit_cast<std::uint32_t>(params[i]))
+        << "param " << i;
+  }
+}
+
+TEST(ModelCodec, MinimalArchitectureRoundTrips) {
+  // Smallest legal MLP: one weight matrix, one bias vector.
+  Mlp model(MlpConfig{{1, 1}, Activation::kRelu});
+  Rng rng(4);
+  model.init(rng);
+  const Mlp decoded = decode_model(encode_model(model));
+  EXPECT_EQ(decoded.config().layer_dims, model.config().layer_dims);
+  EXPECT_EQ(decoded.parameters(), model.parameters());
+}
+
+TEST(ModelCodec, ZeroLayerDimRejected) {
+  Mlp model(config());
+  auto bytes = encode_model(model);
+  // First layer dim is the u64 right after magic (4) + dim count (8).
+  std::uint64_t zero = 0;
+  std::memcpy(bytes.data() + 12, &zero, sizeof(zero));
+  EXPECT_THROW(decode_model(bytes), std::runtime_error);
+}
+
+TEST(ModelCodec, ParamCountMismatchRejected) {
+  // A valid frame for one architecture whose payload length disagrees
+  // with the declared dims: forge by re-declaring the hidden dim.
+  Mlp model(config());
+  auto bytes = encode_model(model);
+  std::uint64_t bigger = 11;  // real hidden dim is 10
+  std::memcpy(bytes.data() + 20, &bigger, sizeof(bigger));
+  EXPECT_THROW(decode_model(bytes), std::runtime_error);
+}
+
+// Every possible truncation of a well-formed encoding must throw — and
+// under ASan must provably never read past the buffer end.
+TEST(ModelCodec, TruncationSweepNeverOverReads) {
+  Mlp model(MlpConfig{{3, 2}, Activation::kRelu});
+  Rng rng(5);
+  model.init(rng);
+  const auto full = encode_model(model);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    SCOPED_TRACE(cut);
+    const std::span<const std::uint8_t> prefix(full.data(), cut);
+    EXPECT_THROW(decode_model(prefix), std::exception);
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -166,6 +167,142 @@ TEST_P(SerializationFuzz, RandomRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Serialization, RoundTripU16) {
+  ByteWriter w;
+  w.u16(0xBEEF);
+  w.u16(0);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u16(), 0xBEEFu);
+  EXPECT_EQ(r.u16(), 0u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialization, RawRoundTripsAndAliasesInput) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> payload{9, 8, 7};
+  w.raw(payload);
+  const auto& bytes = w.bytes();
+  ByteReader r(bytes);
+  const auto view = r.raw(3);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[1], 8);
+  EXPECT_EQ(view.data(), bytes.data());  // zero-copy: aliases the input
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.position(), 3u);
+}
+
+TEST(Serialization, RawPastEndThrows) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.raw(2), std::out_of_range);
+  EXPECT_EQ(r.position(), 0u);  // nothing consumed on failure
+}
+
+TEST(Serialization, F32VecIntoReplacesPriorContents) {
+  ByteWriter w;
+  w.f32_span(std::vector<float>{1.0f, 2.0f});
+  ByteReader r(w.bytes());
+  std::vector<float> out{9.0f, 9.0f, 9.0f, 9.0f, 9.0f};
+  r.f32_vec_into(out);
+  EXPECT_EQ(out, (std::vector<float>{1.0f, 2.0f}));
+}
+
+TEST(Serialization, DenormalsSurviveRoundTrip) {
+  ByteWriter w;
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  w.f32_span(std::vector<float>{denorm, -denorm});
+  ByteReader r(w.bytes());
+  const auto v = r.f32_vec();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(v[0]),
+            std::bit_cast<std::uint32_t>(denorm));
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(v[1]),
+            std::bit_cast<std::uint32_t>(-denorm));
+}
+
+// Truncation sweep: a buffer that exercises EVERY reader method, cut at
+// every possible length. Decoding must fail with the documented
+// exceptions at or before the cut — never read past the end, never
+// crash. (ASan turns any over-read into a hard failure.)
+TEST(Serialization, TruncationSweepCoversEveryReaderMethod) {
+  ByteWriter w;
+  w.u8(1);
+  w.u16(2);
+  w.u32(3);
+  w.u64(4);
+  w.i64(-5);
+  w.f32(1.5f);
+  w.f64(-2.5);
+  w.f32_span(std::vector<float>{1.0f, 2.0f, 3.0f});
+  w.str("abc");
+  w.raw(std::vector<std::uint8_t>{0xAA, 0xBB});
+  const std::vector<std::uint8_t> full = w.take();
+
+  const auto decode_all = [](std::span<const std::uint8_t> bytes) {
+    ByteReader r(bytes);
+    r.u8();
+    r.u16();
+    r.u32();
+    r.u64();
+    r.i64();
+    r.f32();
+    r.f64();
+    std::vector<float> vec;
+    r.f32_vec_into(vec);
+    r.str();
+    r.raw(2);
+    return r.done();
+  };
+  ASSERT_TRUE(decode_all(full));
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    SCOPED_TRACE(cut);
+    const std::span<const std::uint8_t> prefix(full.data(), cut);
+    bool threw = false;
+    try {
+      decode_all(prefix);
+    } catch (const std::out_of_range&) {
+      threw = true;
+    } catch (const std::runtime_error&) {
+      threw = true;  // a cut inside a length prefix reads as implausible
+    }
+    EXPECT_TRUE(threw);
+  }
+}
+
+// Hostile length prefixes chosen so that n * sizeof(float) or pos_ + n
+// wraps 64-bit arithmetic if computed before validation; the guard must
+// compare against remaining() first and throw instead.
+TEST(Serialization, OverflowingLengthPrefixCannotWrap) {
+  const std::uint64_t hostile[] = {
+      std::uint64_t{1} << 62,
+      (std::uint64_t{1} << 62) + 1,
+      std::numeric_limits<std::uint64_t>::max() / 4,
+      std::numeric_limits<std::uint64_t>::max() - 3,
+      std::numeric_limits<std::uint64_t>::max(),
+  };
+  for (const std::uint64_t n : hostile) {
+    SCOPED_TRACE(n);
+    ByteWriter w;
+    w.u64(n);
+    w.u32(0);  // a few real bytes after the prefix
+    {
+      ByteReader r(w.bytes());
+      EXPECT_THROW(r.f32_vec(), std::runtime_error);
+    }
+    {
+      ByteReader r(w.bytes());
+      std::vector<float> out;
+      EXPECT_THROW(r.f32_vec_into(out), std::runtime_error);
+    }
+    {
+      ByteReader r(w.bytes());
+      EXPECT_THROW(r.str(), std::runtime_error);
+    }
+  }
+}
 
 TEST(Serialization, LittleEndianLayout) {
   ByteWriter w;

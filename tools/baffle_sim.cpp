@@ -78,6 +78,8 @@ void print_help() {
       "  --vote=honest|accept|reject  malicious validators' votes (accept)\n"
       "run:\n"
       "  --rounds=N                 total rounds (50)\n"
+      "  --transport=0|1            run rounds over the wire protocol\n"
+      "                             (src/net; prints exact byte counts)\n"
       "  --seed=N                   RNG seed (1)\n"
       "  --from-scratch=1           skip stable-model pre-training\n"
       "  --quiet=1                  summary only\n"
@@ -178,6 +180,7 @@ int main(int argc, char** argv) {
 
   cfg.rounds = static_cast<std::size_t>(flags.integer("rounds", 50));
   cfg.stable_start = !flags.flag("from-scratch", false);
+  cfg.transport = flags.flag("transport", false);
 
   const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 1));
   const bool quiet = flags.flag("quiet", false);
@@ -217,6 +220,16 @@ int main(int argc, char** argv) {
   }
   std::printf("final main accuracy: %.3f, backdoor accuracy: %.3f\n",
               result.final_main_accuracy, result.final_backdoor_accuracy);
+  if (cfg.transport) {
+    const auto& comm = result.comm;
+    std::printf("wire traffic (exact): %llu bytes — %llu download, "
+                "%llu upload, %llu history, %llu control\n",
+                static_cast<unsigned long long>(comm.total_bytes()),
+                static_cast<unsigned long long>(comm.model_download_bytes),
+                static_cast<unsigned long long>(comm.update_upload_bytes),
+                static_cast<unsigned long long>(comm.history_bytes),
+                static_cast<unsigned long long>(comm.control_bytes));
+  }
 
   const auto& registry = MetricsRegistry::global();
   const std::uint64_t trains = registry.timer_count("experiment.round_train");

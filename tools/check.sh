@@ -16,6 +16,10 @@
 #   tools/check.sh --bench-smoke
 #                             # also run defense_bench --smoke and fail
 #                             # on an incremental/baseline parity break
+#   tools/check.sh --fuzz     # also run the deterministic wire-protocol
+#                             # fuzzer under the ASan build (truncation /
+#                             # bit-flip / garbage corpus must never
+#                             # crash or over-read)
 #   tools/check.sh --all      # every stage above
 #
 # Each stage reports one PASS/FAIL/SKIP line; the script stops at the
@@ -26,8 +30,8 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 TEST_TARGETS=(test_util test_tensor test_nn test_data test_metrics
-              test_fl test_attack test_core test_baselines test_exp
-              test_integration)
+              test_fl test_attack test_core test_net test_baselines
+              test_exp test_integration)
 
 RUN_CHECKS=0
 RUN_ASAN=0
@@ -35,6 +39,7 @@ RUN_TSAN=0
 RUN_UBSAN=0
 RUN_TIDY=0
 RUN_BENCH_SMOKE=0
+RUN_FUZZ=0
 for arg in "$@"; do
   case "$arg" in
     --checks) RUN_CHECKS=1 ;;
@@ -43,8 +48,9 @@ for arg in "$@"; do
     --ubsan) RUN_UBSAN=1 ;;
     --tidy) RUN_TIDY=1 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
+    --fuzz) RUN_FUZZ=1 ;;
     --all) RUN_CHECKS=1; RUN_ASAN=1; RUN_TSAN=1; RUN_UBSAN=1; RUN_TIDY=1
-           RUN_BENCH_SMOKE=1 ;;
+           RUN_BENCH_SMOKE=1; RUN_FUZZ=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -141,7 +147,7 @@ run_tsan_suites() {
   # GEMM, round-training, secure-agg masking and defense.evaluate paths
   # actually interleave under TSan.
   local bin
-  for bin in test_tensor test_core test_util test_fl test_exp; do
+  for bin in test_tensor test_core test_util test_fl test_net test_exp; do
     BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
       "./build-tsan/tests/${bin}" --gtest_brief=1 || return 1
   done
@@ -150,7 +156,7 @@ run_tsan_suites() {
 if [[ "$RUN_TSAN" -eq 1 ]]; then
   stage "TSan build (BAFFLE_TSAN=ON)" \
     build_targets build-tsan -DBAFFLE_TSAN=ON \
-    test_tensor test_core test_util test_fl test_exp
+    test_tensor test_core test_util test_fl test_net test_exp
   stage "concurrent suites under TSan" run_tsan_suites
 fi
 
@@ -168,6 +174,20 @@ if [[ "$RUN_UBSAN" -eq 1 ]]; then
   stage "UBSan build (BAFFLE_UBSAN=ON)" \
     build_targets build-ubsan -DBAFFLE_UBSAN=ON test_tensor test_nn
   stage "numeric suites under UBSan (both arms)" run_ubsan_suites
+fi
+
+run_protocol_fuzz() {
+  # The fuzzer's no-crash/no-over-read contract only bites with ASan
+  # watching the reads, so it runs from the sanitizer build; a plain
+  # strict-build pass rides along in ctest (protocol_fuzz_smoke).
+  cmake -B build-asan -S . -DBAFFLE_ASAN=ON &&
+    cmake --build build-asan -j "$JOBS" --target protocol_fuzz &&
+    ASAN_OPTIONS=halt_on_error=1 ./build-asan/tools/protocol_fuzz \
+      --rounds=50
+}
+
+if [[ "$RUN_FUZZ" -eq 1 ]]; then
+  stage "wire-protocol fuzz under ASan" run_protocol_fuzz
 fi
 
 if [[ "$RUN_TIDY" -eq 1 ]]; then

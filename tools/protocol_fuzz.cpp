@@ -1,0 +1,178 @@
+// protocol_fuzz — deterministic smoke fuzzer for the wire protocol.
+//
+// Feeds decode_frame/peek_type three hostile corpora derived from valid
+// frames of every message type with a seeded Rng:
+//
+//   1. truncation: every proper prefix of every frame
+//   2. bit flips: frames with 1..8 random bits flipped
+//   3. garbage: random byte strings of random lengths
+//
+// The contract under test (src/net/wire.hpp): a malformed frame always
+// surfaces as a thrown std::exception — never a crash, hang, or
+// out-of-bounds read. Run under ASan/UBSan (tools/check.sh --all, CI's
+// protocol-fuzz job) any over-read becomes a hard failure; in a plain
+// build this still catches crashes and accept/reject contract breaks.
+//
+// Exits 0 on success, 1 with a diagnostic on the first violation.
+// Deterministic: same seed, same corpus, same result.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace baffle;
+
+ParamVec random_params(Rng& rng, std::size_t max_len) {
+  ParamVec params(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (auto& p : params) p = static_cast<float>(rng.normal());
+  return params;
+}
+
+/// One valid frame of each message type, sizes varied by the rng.
+std::vector<WireBytes> seed_corpus(Rng& rng) {
+  std::vector<WireBytes> corpus;
+
+  ModelBroadcast broadcast;
+  broadcast.round = rng.next_u64() % 1000;
+  broadcast.version = broadcast.round;
+  broadcast.purpose =
+      rng.bernoulli(0.5) ? ModelPurpose::kTraining : ModelPurpose::kCandidate;
+  broadcast.params = random_params(rng, 64);
+  corpus.push_back(encode_frame(broadcast));
+
+  ClientUpdate update;
+  update.round = rng.next_u64() % 1000;
+  update.client_id = rng.next_u64() % 100;
+  update.update = random_params(rng, 64);
+  corpus.push_back(encode_frame(update));
+
+  Vote vote;
+  vote.round = rng.next_u64() % 1000;
+  vote.client_id = rng.next_u64() % 100;
+  vote.vote = rng.bernoulli(0.5) ? 1 : 0;
+  vote.abstained = rng.bernoulli(0.2) ? 1 : 0;
+  vote.phi = rng.normal(0.0, 10.0);
+  vote.tau = rng.normal(0.0, 10.0);
+  corpus.push_back(encode_frame(vote));
+
+  HistoryDelta delta;
+  delta.round = rng.next_u64() % 1000;
+  const auto entries = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  for (std::size_t i = 0; i < entries; ++i) {
+    delta.entries.push_back(
+        HistoryDelta::Entry{delta.round + i, random_params(rng, 16)});
+  }
+  corpus.push_back(encode_frame(delta));
+
+  RoundResult result;
+  result.round = rng.next_u64() % 1000;
+  result.committed = rng.bernoulli(0.5) ? 1 : 0;
+  result.version = result.round;
+  result.reject_votes = static_cast<std::uint32_t>(rng.next_u64() % 10);
+  result.total_voters = static_cast<std::uint32_t>(rng.next_u64() % 20);
+  corpus.push_back(encode_frame(result));
+
+  return corpus;
+}
+
+/// Decode must either succeed or throw std::exception; anything else
+/// (a crash, an ASan report) never returns here. Returns whether the
+/// frame decoded cleanly.
+bool decode_is_clean(std::span<const std::uint8_t> frame) {
+  try {
+    (void)decode_frame(frame);
+    (void)peek_type(frame);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+int run(std::uint64_t seed, int rounds) {
+  Rng rng(seed);
+  std::uint64_t cases = 0;
+  std::uint64_t survivors = 0;  // mutated frames that still decode
+
+  for (int iter = 0; iter < rounds; ++iter) {
+    const auto corpus = seed_corpus(rng);
+
+    for (const auto& frame : corpus) {
+      if (!decode_is_clean(frame)) {
+        std::fprintf(stderr,
+                     "protocol_fuzz: pristine frame rejected (iter %d)\n",
+                     iter);
+        return 1;
+      }
+      ++cases;
+
+      // 1. Every proper prefix must be rejected.
+      for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+        const std::span<const std::uint8_t> prefix(frame.data(), cut);
+        if (decode_is_clean(prefix)) {
+          std::fprintf(stderr,
+                       "protocol_fuzz: truncated frame accepted "
+                       "(iter %d, %zu of %zu bytes)\n",
+                       iter, cut, frame.size());
+          return 1;
+        }
+        ++cases;
+      }
+
+      // 2. Random bit flips: decode may legitimately still succeed
+      // (e.g. a flipped parameter bit), but must never crash.
+      for (int flip = 0; flip < 64; ++flip) {
+        WireBytes mutated = frame;
+        const auto flips = 1 + rng.uniform_int(0, 7);
+        for (std::int64_t b = 0; b < flips; ++b) {
+          const auto bit = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(mutated.size()) * 8 - 1));
+          mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        if (decode_is_clean(mutated)) ++survivors;
+        ++cases;
+      }
+    }
+
+    // 3. Random garbage of random lengths (including empty).
+    for (int g = 0; g < 64; ++g) {
+      WireBytes garbage(
+          static_cast<std::size_t>(rng.uniform_int(0, 256)));
+      for (auto& byte : garbage) {
+        byte = static_cast<std::uint8_t>(rng.next_u64());
+      }
+      (void)decode_is_clean(garbage);
+      ++cases;
+    }
+  }
+
+  std::printf(
+      "protocol_fuzz: OK (%llu cases, %llu mutated frames still decoded)\n",
+      static_cast<unsigned long long>(cases),
+      static_cast<unsigned long long>(survivors));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  int rounds = 50;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = static_cast<int>(std::strtol(argv[i] + 9, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: protocol_fuzz [--seed=N] [--rounds=N]\n");
+      return 2;
+    }
+  }
+  return run(seed, rounds);
+}
