@@ -1,0 +1,277 @@
+// BM_MultiModelEval — cold-window evaluation cost: all ℓ+1 history
+// models of a VALIDATE round scored on the validator's dataset, swept
+// over the paper's look-back sizes ℓ (DESIGN.md §14).
+//
+// Arms:
+//   sequential  per-model Mlp::predict_into (the pre-engine path);
+//   fp32        MultiModelEval::predict_many — one shared packed input,
+//               fused layer-1 GEMMs per model chunk (bit-identical
+//               predictions to sequential, by construction);
+//   bf16/int8   the guarded reduced-precision arms (evaluation-only;
+//               low-margin argmaxes re-run in fp32).
+//
+// Parity is the gate: fp32 predictions must equal sequential ones
+// exactly, and the reduced arms' confusion matrices must match fp32 —
+// identical CMs mean identical error-variation points, hence identical
+// votes/φ/τ. Prints the sweep table and writes BENCH_multieval.json;
+// exit is nonzero whenever parity fails, and — on full (non-smoke)
+// runs — when the int8 arm misses 2x over sequential at ℓ ≥ 10.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/history.hpp"
+#include "data/synth.hpp"
+#include "metrics/confusion.hpp"
+#include "nn/multi_eval.hpp"
+
+namespace {
+
+using namespace baffle;
+
+constexpr std::size_t kLookbacks[] = {2, 10, 20, 40};
+constexpr std::size_t kMaxLookback = 40;
+
+struct BenchSetup {
+  Dataset holdout;
+  MlpConfig arch;
+  std::vector<ParamVec> chain;  // chain[v] = parameters of version v
+  std::size_t warmup = 1;
+  std::size_t timed = 7;
+};
+
+BenchSetup make_setup(bool smoke) {
+  Rng rng(404);
+  SynthTaskConfig cfg = synth_vision10_config();
+  cfg.train_per_class = 1;  // only the test split is used
+  cfg.test_per_class = smoke ? 50 : 1000;
+  const SynthTask task = make_synth_task(cfg, rng);
+
+  BenchSetup s;
+  s.arch = MlpConfig{{cfg.dim, 128, cfg.num_classes}, Activation::kRelu};
+  s.holdout = task.test;
+  if (smoke) s.timed = 1;
+
+  Mlp model(s.arch);
+  model.init(rng);
+  ParamVec params = model.parameters();
+  s.chain.push_back(params);
+  for (std::size_t v = 1; v <= kMaxLookback; ++v) {
+    for (float& p : params) p += static_cast<float>(rng.normal(0.0, 0.05));
+    s.chain.push_back(params);
+  }
+  return s;
+}
+
+using PredTable = std::vector<std::vector<std::size_t>>;  // model × sample
+
+double median(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct SweepRow {
+  std::size_t lookback = 0;
+  double sequential_ms = 0.0;
+  double fp32_ms = 0.0;
+  double bf16_ms = 0.0;
+  double int8_ms = 0.0;
+  // Medians of the PER-REPETITION sequential/arm ratios — on a host
+  // with bursty steal time this pairs each arm sample with the
+  // sequential sample measured microseconds before it, so load spikes
+  // cancel instead of landing on one arm's median.
+  double fp32_speedup = 0.0;
+  double bf16_speedup = 0.0;
+  double int8_speedup = 0.0;
+  bool parity_ok = false;
+};
+
+/// One INTERLEAVED measurement of all four arms: every repetition times
+/// sequential, fp32, bf16 and int8 back to back, and each arm's median
+/// is taken across repetitions. This host's clock drifts on the scale
+/// of a whole arm's repetition loop (shared core, frequency scaling),
+/// so measuring the arms in separate phases systematically biases
+/// whichever arm lands on the slow stretch; interleaving exposes every
+/// arm to the same drift.
+void run_row(const BenchSetup& s, std::size_t models, PredTable& seq,
+             PredTable& fp32, PredTable& bf16, PredTable& int8,
+             SweepRow& row) {
+  Mlp model(s.arch);
+  MlpEvalWorkspace seq_ws;
+  MultiModelEval engine(s.arch);
+  engine.bind(s.holdout.features());
+  MlpEvalWorkspace eng_ws;
+  std::vector<MultiEvalModel> bfp(models), bbf(models), bi8(models);
+  for (std::size_t v = 0; v < models; ++v) {
+    bfp[v] = MultiEvalModel{s.chain[v], fp32[v]};
+    bbf[v] = MultiEvalModel{s.chain[v], bf16[v]};
+    bi8[v] = MultiEvalModel{s.chain[v], int8[v]};
+  }
+  // Inner iterations stretch every timed sample to tens of
+  // milliseconds: this host steals CPU in ~10 ms chunks, and a chunk
+  // landing inside a short sample inflates it far more (relatively)
+  // than a long one, which systematically compresses the short arms'
+  // ratios. All arms of one repetition share the same iteration count.
+  const std::size_t iters = models <= 10 ? 4 : (models <= 21 ? 2 : 1);
+  std::vector<double> ms_seq, ms_fp32, ms_bf16, ms_int8;
+  using clock = std::chrono::steady_clock;
+  const auto lap = [&](clock::time_point& t) {
+    const auto t1 = clock::now();
+    const double d = std::chrono::duration<double, std::milli>(t1 - t).count();
+    t = t1;
+    return d / static_cast<double>(iters);
+  };
+  for (std::size_t rep = 0; rep < s.warmup + s.timed; ++rep) {
+    auto t = clock::now();
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t v = 0; v < models; ++v) {
+        model.set_parameters(s.chain[v]);
+        model.predict_into(s.holdout.features(), seq[v], seq_ws);
+      }
+    }
+    const double d_seq = lap(t);
+    eng_ws.precision = EvalPrecision::kFp32;
+    for (std::size_t it = 0; it < iters; ++it) engine.predict_many(bfp, eng_ws);
+    const double d_fp32 = lap(t);
+    eng_ws.precision = EvalPrecision::kBf16;
+    for (std::size_t it = 0; it < iters; ++it) engine.predict_many(bbf, eng_ws);
+    const double d_bf16 = lap(t);
+    eng_ws.precision = EvalPrecision::kInt8;
+    for (std::size_t it = 0; it < iters; ++it) engine.predict_many(bi8, eng_ws);
+    const double d_int8 = lap(t);
+    if (rep >= s.warmup) {
+      ms_seq.push_back(d_seq);
+      ms_fp32.push_back(d_fp32);
+      ms_bf16.push_back(d_bf16);
+      ms_int8.push_back(d_int8);
+    }
+  }
+  row.sequential_ms = median(ms_seq);
+  row.fp32_ms = median(ms_fp32);
+  row.bf16_ms = median(ms_bf16);
+  row.int8_ms = median(ms_int8);
+  std::vector<double> ratio(ms_seq.size());
+  const auto ratio_median = [&](const std::vector<double>& arm) {
+    for (std::size_t i = 0; i < arm.size(); ++i) {
+      ratio[i] = arm[i] > 0.0 ? ms_seq[i] / arm[i] : 0.0;
+    }
+    return median(ratio);
+  };
+  row.fp32_speedup = ratio_median(ms_fp32);
+  row.bf16_speedup = ratio_median(ms_bf16);
+  row.int8_speedup = ratio_median(ms_int8);
+}
+
+ConfusionMatrix tally(const BenchSetup& s,
+                      const std::vector<std::size_t>& preds) {
+  ConfusionMatrix cm(s.holdout.num_classes());
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    cm.record(s.holdout.labels()[i], static_cast<int>(preds[i]));
+  }
+  return cm;
+}
+
+bool same_cm(const ConfusionMatrix& a, const ConfusionMatrix& b) {
+  const int n = static_cast<int>(a.num_classes());
+  for (int t = 0; t < n; ++t) {
+    for (int p = 0; p < n; ++p) {
+      if (a.count(t, p) != b.count(t, p)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const BenchSetup setup = make_setup(smoke);
+  const std::size_t m = setup.holdout.size();
+  std::printf("BM_MultiModelEval: %zu samples, arch {%zu,%zu,%zu}, %zu "
+              "timed reps/cell%s\n",
+              m, setup.arch.layer_dims[0], setup.arch.layer_dims[1],
+              setup.arch.layer_dims[2], setup.timed, smoke ? " (smoke)" : "");
+  std::printf("%8s %12s %10s %10s %10s %8s %7s\n", "lookback", "seq ms",
+              "fp32 ms", "bf16 ms", "int8 ms", "int8 spd", "parity");
+
+  std::vector<SweepRow> rows;
+  bool all_parity = true;
+  bool speedup_ok = true;
+  for (const std::size_t ell : kLookbacks) {
+    const std::size_t models = ell + 1;
+    PredTable seq(models, std::vector<std::size_t>(m));
+    PredTable fp32(models, std::vector<std::size_t>(m));
+    PredTable bf16(models, std::vector<std::size_t>(m));
+    PredTable int8(models, std::vector<std::size_t>(m));
+
+    SweepRow row;
+    row.lookback = ell;
+    run_row(setup, models, seq, fp32, bf16, int8, row);
+
+    // fp32 engine arm: bit-identical predictions. Reduced arms:
+    // identical confusion matrices (⇒ identical votes/φ/τ downstream).
+    row.parity_ok = true;
+    for (std::size_t v = 0; v < models; ++v) {
+      if (fp32[v] != seq[v]) row.parity_ok = false;
+      const ConfusionMatrix ref = tally(setup, seq[v]);
+      if (!same_cm(ref, tally(setup, bf16[v]))) row.parity_ok = false;
+      if (!same_cm(ref, tally(setup, int8[v]))) row.parity_ok = false;
+    }
+    all_parity = all_parity && row.parity_ok;
+    if (!smoke && ell >= 10 && row.int8_speedup < 2.0) speedup_ok = false;
+    rows.push_back(row);
+    std::printf("%8zu %9.3f ms %7.3f ms %7.3f ms %7.3f ms %7.2fx %7s\n",
+                row.lookback, row.sequential_ms, row.fp32_ms, row.bf16_ms,
+                row.int8_ms, row.int8_speedup, row.parity_ok ? "ok" : "FAIL");
+  }
+
+  FILE* f = std::fopen("BENCH_multieval.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr,
+                 "multieval_bench: cannot write BENCH_multieval.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"name\": \"BM_MultiModelEval\",\n"
+               "  \"samples\": %zu,\n"
+               "  \"hidden\": %zu,\n"
+               "  \"timed_reps\": %zu,\n"
+               "  \"smoke\": %s,\n"
+               "  \"sweeps\": [\n",
+               m, setup.arch.layer_dims[1], setup.timed,
+               smoke ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    std::fprintf(
+        f,
+        "    {\"lookback\": %zu, \"sequential_ms\": %.3f, "
+        "\"fp32_ms\": %.3f, \"bf16_ms\": %.3f, \"int8_ms\": %.3f, "
+        "\"fp32_speedup\": %.3f, \"bf16_speedup\": %.3f, "
+        "\"int8_speedup\": %.3f, \"parity_ok\": %s}%s\n",
+        row.lookback, row.sequential_ms, row.fp32_ms, row.bf16_ms,
+        row.int8_ms, row.fp32_speedup, row.bf16_speedup, row.int8_speedup,
+        row.parity_ok ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"parity_ok\": %s\n"
+               "}\n",
+               all_parity ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_multieval.json\n");
+  if (!all_parity) return 1;
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "multieval_bench: int8 arm below 2x at some lookback\n");
+    return 1;
+  }
+  return 0;
+}

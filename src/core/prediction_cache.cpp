@@ -17,6 +17,13 @@ void PredictionCache::insert(std::uint64_t version, ConfusionMatrix cm) {
   entries_.insert_or_assign(version, std::move(cm));
 }
 
+void PredictionCache::insert_missed(std::uint64_t version,
+                                    ConfusionMatrix cm) {
+  ++misses_;
+  MetricsRegistry::global().add_counter("prediction_cache.misses");
+  insert(version, std::move(cm));
+}
+
 void PredictionCache::promote(std::uint64_t version, ConfusionMatrix cm) {
   ++promotions_;
   MetricsRegistry::global().add_counter("prediction_cache.promotions");

@@ -32,6 +32,13 @@ class PredictionCache {
   /// get_or_eval traffic (`prediction_cache.promotions`).
   void promote(std::uint64_t version, ConfusionMatrix cm);
 
+  /// Records an out-of-band evaluation: the entry was not served by the
+  /// cache, so it counts as a miss exactly like get_or_eval's slow
+  /// path, but the evaluation happened elsewhere (the validator's
+  /// batched cold-window prefetch computes many uncached models in one
+  /// fused pass and deposits the results here).
+  void insert_missed(std::uint64_t version, ConfusionMatrix cm);
+
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

@@ -26,17 +26,43 @@ std::size_t tau_window_for_lookback(std::size_t lookback) {
 }
 
 Validator::Validator(Dataset data, MlpConfig arch, ValidatorConfig config)
-    : data_(std::move(data)), config_(config), scratch_model_(arch) {
+    : data_(std::move(data)), config_(config), engine_(std::move(arch)) {
   BAFFLE_CHECK(config.lookback >= 2,
                "look-back window must cover at least 2 accepted models");
   BAFFLE_CHECK(config.min_variations >= 1,
                "abstention threshold must require at least one variation");
   BAFFLE_CHECK(!data_.empty(), "validator needs a non-empty dataset");
+  engine_.bind(data_.features());
+  eval_ws_.precision = config_.eval_precision;
+}
+
+ConfusionMatrix Validator::confusion_from_preds(
+    std::span<const std::size_t> preds) const {
+  ConfusionMatrix cm(data_.num_classes());
+  const auto& labels = data_.labels();
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    cm.record(labels[i], static_cast<int>(preds[i]));
+  }
+  return cm;
 }
 
 ConfusionMatrix Validator::evaluate_params(const ParamVec& params) {
-  scratch_model_.set_parameters(params);
-  return evaluate_confusion(scratch_model_, data_, eval_ws_);
+  MetricsRegistry::global().add_counter("validator.model_materializations");
+  preds_scratch_.resize(data_.size());
+  engine_.predict_into(params, preds_scratch_, eval_ws_);
+  return confusion_from_preds(preds_scratch_);
+}
+
+ConfusionMatrix Validator::evaluate_candidate(const ParamVec& candidate) {
+  // Repeat submissions (an adaptive attacker's self-check loop, or a
+  // round replayed after a rejection) re-validate bit-identical
+  // parameters; deterministic inference makes the previous confusion
+  // matrix exact, so the forward pass is skipped entirely.
+  if (prev_candidate_ && prev_candidate_->params == candidate) {
+    MetricsRegistry::global().add_counter("validator.candidate_cm_reuse");
+    return prev_candidate_->cm;
+  }
+  return evaluate_params(candidate);
 }
 
 const ConfusionMatrix& Validator::evaluate_history(
@@ -44,6 +70,37 @@ const ConfusionMatrix& Validator::evaluate_history(
   return cache_.get_or_eval(snapshot.version, [&] {
     return evaluate_params(*snapshot.params);
   });
+}
+
+void Validator::prefetch_history(std::span<const HistoryRef> history) {
+  batch_refs_.clear();
+  for (const auto& h : history) {
+    if (cache_.find(h.version) == nullptr) batch_refs_.push_back(&h);
+  }
+  // A single miss gains nothing from batching; leave it to the
+  // sequential get_or_eval path (steady-state rounds hit this: at most
+  // the candidate-turned-history model is uncached, and promotion
+  // usually covers even that).
+  if (batch_refs_.size() < 2) return;
+  const std::size_t n = data_.size();
+  batch_preds_.resize(batch_refs_.size() * n);
+  batch_models_.clear();
+  for (std::size_t i = 0; i < batch_refs_.size(); ++i) {
+    batch_models_.push_back(
+        {*batch_refs_[i]->params,
+         std::span<std::size_t>(batch_preds_).subspan(i * n, n)});
+  }
+  engine_.predict_many(batch_models_, eval_ws_);
+  MetricsRegistry::global().add_counter("validator.batched_evals",
+                                        batch_refs_.size());
+  MetricsRegistry::global().add_counter("validator.model_materializations",
+                                        batch_refs_.size());
+  for (std::size_t i = 0; i < batch_refs_.size(); ++i) {
+    cache_.insert_missed(
+        batch_refs_[i]->version,
+        confusion_from_preds(
+            std::span<const std::size_t>(batch_preds_).subspan(i * n, n)));
+  }
 }
 
 void Validator::stash_pending(const ParamVec& candidate,
@@ -65,7 +122,13 @@ void Validator::notify_commit(std::uint64_t version,
   pending_.reset();
 }
 
-void Validator::notify_reject() { pending_.reset(); }
+void Validator::notify_reject() {
+  // The pending confusion matrix is no longer promotable, but it is
+  // still the exact evaluation of those parameters: keep it as the
+  // repeat-candidate memo for a replayed submission.
+  if (pending_) prev_candidate_ = std::move(pending_);
+  pending_.reset();
+}
 
 namespace {
 
@@ -202,7 +265,7 @@ ValidationOutcome Validator::validate_lof_incremental(
   BAFFLE_DCHECK(k == (ell + 1) / 2, "Algorithm 2 fixes k = ceil(l/2)");
 
   // Candidate's variation point v_{ℓ+1} = v(𝒢^ℓ, G, D).
-  const ConfusionMatrix candidate_cm = evaluate_params(candidate);
+  const ConfusionMatrix candidate_cm = evaluate_candidate(candidate);
   const VariationPoint candidate_point =
       error_variation(evaluate_history(history.back()), candidate_cm);
   BAFFLE_DCHECK(candidate_point.size() == window_points_.front().size(),
@@ -230,7 +293,9 @@ ValidationOutcome Validator::validate_impl(
     const ParamVec& candidate, std::span<const HistoryRef> history) {
   const ScopedTimer timer("validator.validate");
   MetricsRegistry::global().add_counter("validator.validations");
+  if (pending_) prev_candidate_ = std::move(pending_);
   pending_.reset();
+  prefetch_history(history);
 
   if (config_.incremental &&
       config_.method == ValidationMethod::kErrorVariationLof) {
@@ -265,7 +330,7 @@ ValidationOutcome Validator::validate_impl(
       deltas.push_back(evaluate_history(history[i]).accuracy() -
                        evaluate_history(history[i - 1]).accuracy());
     }
-    const ConfusionMatrix candidate_cm = evaluate_params(candidate);
+    const ConfusionMatrix candidate_cm = evaluate_candidate(candidate);
     const double candidate_delta =
         candidate_cm.accuracy() - evaluate_history(history.back()).accuracy();
     stash_pending(candidate, candidate_cm);
@@ -285,7 +350,7 @@ ValidationOutcome Validator::validate_impl(
     for (const auto& v : variations) {
       norms.push_back(variation_distance(v, origin));
     }
-    const ConfusionMatrix candidate_cm = evaluate_params(candidate);
+    const ConfusionMatrix candidate_cm = evaluate_candidate(candidate);
     const VariationPoint candidate_point =
         error_variation(evaluate_history(history.back()), candidate_cm);
     stash_pending(candidate, candidate_cm);
@@ -307,7 +372,7 @@ ValidationOutcome Validator::validate_impl(
                 "tau is calibrated on trusted points inside the window");
 
   // Candidate's variation point v_{ℓ+1} = v(𝒢^ℓ, G, D).
-  const ConfusionMatrix candidate_cm = evaluate_params(candidate);
+  const ConfusionMatrix candidate_cm = evaluate_candidate(candidate);
   const VariationPoint candidate_point =
       error_variation(evaluate_history(history.back()), candidate_cm);
   BAFFLE_DCHECK(candidate_point.size() == variations.front().size(),

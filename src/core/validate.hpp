@@ -34,6 +34,7 @@
 #include "core/history.hpp"
 #include "core/lof.hpp"
 #include "core/prediction_cache.hpp"
+#include "nn/multi_eval.hpp"
 
 namespace baffle {
 
@@ -75,6 +76,12 @@ struct ValidatorConfig {
   /// either way; `false` recomputes everything per round — the pre-PR
   /// baseline the benchmarks and parity tests compare against.
   bool incremental = true;
+  /// Numeric arm for model evaluation (DESIGN.md §14). kFp32 (default)
+  /// is bit-identical to the sequential inference path; kBf16/kInt8 run
+  /// the guarded reduced-precision engine arms — evaluation only, and
+  /// calibrated so votes and confusion matrices stay unchanged on the
+  /// bench scenarios.
+  EvalPrecision eval_precision = EvalPrecision::kFp32;
 };
 
 struct ValidationOutcome {
@@ -137,15 +144,34 @@ class Validator {
   void sync_window(std::span<const HistoryRef> history);
   void stash_pending(const ParamVec& candidate, const ConfusionMatrix& cm);
 
+  /// Tallies a confusion matrix from per-sample predictions (sample
+  /// order identical to evaluate_confusion's).
+  ConfusionMatrix confusion_from_preds(
+      std::span<const std::size_t> preds) const;
+  /// One fused-engine evaluation (counts a model materialization).
   ConfusionMatrix evaluate_params(const ParamVec& params);
+  /// Candidate evaluation with the repeat-candidate short-circuit: a
+  /// candidate bit-equal to the one scored by the previous validate()
+  /// reuses its confusion matrix instead of re-running inference.
+  ConfusionMatrix evaluate_candidate(const ParamVec& candidate);
   const ConfusionMatrix& evaluate_history(const HistoryRef& snapshot);
+  /// Batches every uncached history model through one predict_many pass
+  /// (cache-miss-heavy paths: first rounds, fresh validators, lookback
+  /// growth). Deposits results via PredictionCache::insert_missed, so
+  /// the miss accounting matches the sequential get_or_eval path.
+  void prefetch_history(std::span<const HistoryRef> history);
 
   Dataset data_;
   ValidatorConfig config_;
-  Mlp scratch_model_;          // reused for every evaluation
+  MultiModelEval engine_;      // batched fused evaluation (DESIGN.md §14)
   MlpEvalWorkspace eval_ws_;   // inference scratch, reused likewise
   PredictionCache cache_;
   std::optional<PendingCandidate> pending_;
+  std::optional<PendingCandidate> prev_candidate_;  // repeat-candidate memo
+  std::vector<std::size_t> preds_scratch_;
+  std::vector<std::size_t> batch_preds_;        // prefetch: models x samples
+  std::vector<MultiEvalModel> batch_models_;
+  std::vector<const HistoryRef*> batch_refs_;
 
   // Incremental LOF state (valid for the window identified by
   // window_keys_; rebuilt — reusing overlapping entries — when the

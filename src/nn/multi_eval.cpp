@@ -1,0 +1,592 @@
+#include "nn/multi_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/kernels.hpp"
+#include "util/contracts.hpp"
+#include "util/metrics.hpp"
+
+namespace baffle {
+
+namespace {
+constexpr std::size_t kPC = kernels::kPanelCols;
+
+/// Calibration override for the guard safety factor: when
+/// BAFFLE_GUARD_KAPPA is set to a positive float it replaces BOTH arms'
+/// kappa constants. Used by the calibration harness to locate the
+/// empirical failure boundary (DESIGN.md §14); unset in production.
+float guard_kappa_override() {
+  static const float v = [] {
+    const char* s = std::getenv("BAFFLE_GUARD_KAPPA");
+    return s != nullptr ? std::strtof(s, nullptr) : 0.0f;
+  }();
+  return v;
+}
+
+float guard_kappa(float default_kappa) {
+  const float o = guard_kappa_override();
+  return o > 0.0f ? o : default_kappa;
+}
+}  // namespace
+
+MultiModelEval::MultiModelEval(MlpConfig config) : config_(std::move(config)) {
+  BAFFLE_CHECK(config_.layer_dims.size() >= 2,
+               "MultiModelEval: need at least input and output dims");
+  num_layers_ = config_.layer_dims.size() - 1;
+  for (std::size_t l = 0; l < num_layers_; ++l) {
+    const std::size_t d_in = config_.layer_dims[l];
+    const std::size_t d_out = config_.layer_dims[l + 1];
+    BAFFLE_CHECK(d_in > 0 && d_out > 0,
+                 "MultiModelEval: zero-width layer");
+    num_weights_ += d_in * d_out;
+    num_params_ += d_in * d_out + d_out;
+  }
+  for (std::size_t d : config_.layer_dims) max_width_ = std::max(max_width_, d);
+  k_pad_ = (config_.layer_dims.front() + 3) & ~std::size_t{3};
+}
+
+void MultiModelEval::fill_layer_views(std::span<const float> params,
+                                      LayerView* out) const {
+  BAFFLE_CHECK(params.size() == num_params_,
+               "MultiModelEval: parameter count mismatch");
+  const float* p = params.data();
+  for (std::size_t l = 0; l < num_layers_; ++l) {
+    const std::size_t d_in = config_.layer_dims[l];
+    const std::size_t d_out = config_.layer_dims[l + 1];
+    out[l].w = p;
+    p += d_in * d_out;
+    out[l].bias = p;
+    p += d_out;
+    out[l].d_in = d_in;
+    out[l].d_out = d_out;
+  }
+}
+
+void MultiModelEval::bind(const Matrix& x) {
+  BAFFLE_CHECK(x.cols() == config_.layer_dims.front(),
+               "MultiModelEval::bind: input dim mismatch");
+  pack_bt_panels(x, xpack_);
+  samples_ = x.rows();
+  panels_ = (samples_ + kPC - 1) / kPC;
+  // Reduced-precision mirrors of the pack are rebuilt lazily on demand.
+  xpack_bf16_.clear();
+  xpack_bf16f_.clear();
+  xpack_u8_.clear();
+  xscale_u8_.clear();
+  xoffset_u8_.clear();
+  panel_a_.resize(max_width_ * kPC);
+  panel_b_.resize(max_width_ * kPC);
+  guard_panel_.resize(config_.layer_dims.front() * kPC);
+  guard_preds_.resize(kPC);
+  // Row-major copy plus per-sample magnitude statistics for the
+  // reduced-precision guard (sample = packed column).
+  const std::size_t d = x.cols();
+  xrows_.resize(samples_ * d);
+  if (samples_ > 0) {
+    std::memcpy(xrows_.data(), x.flat().data(),
+                samples_ * d * sizeof(float));
+  }
+  xnorm2_.resize(samples_);
+  guard_v_bf16_.resize(samples_);
+  constexpr float kBf16Rel = 1.0f / 256.0f;  // 2^-8 (see encode_weights)
+  for (std::size_t r = 0; r < samples_; ++r) {
+    double row_sq = 0.0;
+    float row_max = 0.0f;
+    const float* row = xrows_.data() + r * d;
+    for (std::size_t c = 0; c < d; ++c) {
+      const float a = std::fabs(row[c]);
+      row_sq += static_cast<double>(a) * a;
+      row_max = std::max(row_max, a);
+    }
+    xnorm2_[r] = static_cast<float>(row_sq);
+    const float step = kBf16Rel * row_max;
+    guard_v_bf16_[r] = step * step;
+  }
+  guard_v_u8_.clear();  // rebuilt with the u8 mirror
+}
+
+void MultiModelEval::ensure_bf16_pack() {
+  const std::size_t d = config_.layer_dims.front();
+  const std::size_t n = panels_ * d * kPC;
+  if (xpack_bf16_.size() == n && n > 0) return;
+  xpack_bf16_.resize(n);
+  const kernels::KernelTable& t = kernels::active_table();
+  t.convert_f32_bf16(xpack_.data(), xpack_bf16_.data(), n);
+  // Widened-once fp32 image of the rounded pack (widening is exact, so
+  // the fp32 kernel on this image computes the bf16 arm bit-for-bit).
+  xpack_bf16f_.resize(n);
+  t.convert_bf16_f32(xpack_bf16_.data(), xpack_bf16f_.data(), n);
+  panel_bf16_.resize(max_width_ * kPC);
+}
+
+void MultiModelEval::ensure_u8_pack() {
+  const std::size_t d = config_.layer_dims.front();
+  const std::size_t n = panels_ * k_pad_ * kPC;
+  if (xpack_u8_.size() == n && n > 0) return;
+  xpack_u8_.resize(n);
+  xscale_u8_.resize(panels_ * kPC);
+  xoffset_u8_.resize(panels_ * kPC);
+  const kernels::KernelTable& t = kernels::active_table();
+  for (std::size_t jp = 0; jp < panels_; ++jp) {
+    kernels::QuantizePanelU8Args q{
+        xpack_.data() + jp * d * kPC, xpack_u8_.data() + jp * k_pad_ * kPC,
+        xscale_u8_.data() + jp * kPC, xoffset_u8_.data() + jp * kPC,
+        d,                            k_pad_};
+    t.quantize_panel_u8(q);
+  }
+  // Per-sample squared quantization step for the guard's flag test
+  // (real samples only — the last panel's padding columns carry a
+  // placeholder scale).
+  guard_v_u8_.resize(samples_);
+  for (std::size_t s = 0; s < samples_; ++s) {
+    const float step = xscale_u8_[s];
+    guard_v_u8_[s] = step * step;
+  }
+}
+
+void MultiModelEval::encode_weights_bf16(std::span<const LayerView> layers,
+                                         std::size_t chunk_slot) {
+  const kernels::KernelTable& t = kernels::active_table();
+  std::uint16_t* dst = wq_bf16_.data() + chunk_slot * num_weights_;
+  for (const LayerView& lv : layers) {
+    t.convert_f32_bf16(lv.w, dst, lv.d_in * lv.d_out);
+    dst += lv.d_in * lv.d_out;
+  }
+  // Widen the rounded weights back once per model; the panel loop then
+  // reuses the fp32 layer kernel (see ensure_bf16_pack).
+  t.convert_bf16_f32(wq_bf16_.data() + chunk_slot * num_weights_,
+                     wq_bf16f_.data() + chunk_slot * num_weights_,
+                     num_weights_);
+  // Layer-0 error variance components for the guard threshold: bf16
+  // rounding perturbs every operand by at most ~2^-9 relative (half a
+  // 2^-8 mantissa ulp), so the effective per-element "step" is bounded
+  // by 2^-8 * max|w| for a weight row and, per sample, 2^-8 * max|x|
+  // for the input (the latter carried per sample in guard_v_bf16_).
+  // Independent per-term rounding errors combine as variances:
+  //   var_i(s) = a_i * ||x_s||^2 + b_i * v_s
+  // with a_i = (step_w/2)^2 and b_i = sum_p w_pi^2 / 4.
+  const LayerView& lv = layers[0];
+  ehid_a_.resize(lv.d_out);
+  ehid_b_.resize(lv.d_out);
+  constexpr float kBf16Rel = 1.0f / 256.0f;  // 2^-8
+  for (std::size_t i = 0; i < lv.d_out; ++i) {
+    float amax = 0.0f;
+    float wsq = 0.0f;
+    for (std::size_t p = 0; p < lv.d_in; ++p) {
+      const float a = std::fabs(lv.w[p * lv.d_out + i]);
+      amax = std::max(amax, a);
+      wsq += a * a;
+    }
+    const float ws_eff = kBf16Rel * amax;
+    ehid_a_[i] = 0.25f * ws_eff * ws_eff;
+    ehid_b_[i] = 0.25f * wsq;
+  }
+  guard_error_coeffs(layers, guard_kappa(kBf16GuardKappa),
+                     chunk_slot);
+}
+
+void MultiModelEval::encode_weights_u8(std::span<const LayerView> layers,
+                                       std::size_t chunk_slot) {
+  // Per-output-row symmetric quantization of the FIRST layer's weights
+  // (the only u8 layer: it is the one whose operand is the shared,
+  // once-quantized X pack). Plain shared code, so the encoding is
+  // identical on every dispatch arm by construction.
+  const LayerView& lv = layers[0];
+  std::int8_t* wq = wq_u8_.data() + chunk_slot * wq_u8_stride_;
+  float* ws = wq_scale_.data() + chunk_slot * wq_unit_stride_;
+  std::int32_t* wr = wq_rowsum_.data() + chunk_slot * wq_unit_stride_;
+  ehid_a_.resize(lv.d_out);
+  ehid_b_.resize(lv.d_out);
+  // Layer-0 error variance components for the guard threshold: each dot
+  // product term is perturbed by at most 0.5*ws_i per weight (times the
+  // input) and 0.5*step_s per input (times the weight); independent
+  // per-term rounding errors combine as variances (see
+  // encode_weights_bf16), with the per-sample factors ||x_s||^2 and
+  // step_s^2 applied in the guard scan.
+  for (std::size_t i = 0; i < lv.d_out; ++i) {
+    float amax = 0.0f;
+    float wsq = 0.0f;
+    for (std::size_t p = 0; p < lv.d_in; ++p) {
+      const float a = std::fabs(lv.w[p * lv.d_out + i]);
+      amax = std::max(amax, a);
+      wsq += a * a;
+    }
+    const float s = amax > 0.0f ? amax / 127.0f : 1.0f;
+    const float inv = 1.0f / s;
+    ws[i] = s;
+    ehid_a_[i] = 0.25f * s * s;
+    ehid_b_[i] = 0.25f * wsq;
+    std::int32_t rowsum = 0;
+    for (std::size_t p = 0; p < k_pad_; ++p) {
+      std::int32_t q = 0;
+      if (p < lv.d_in) {
+        q = static_cast<std::int32_t>(
+            std::nearbyint(lv.w[p * lv.d_out + i] * inv));
+        q = std::clamp(q, -127, 127);
+      }
+      wq[i * k_pad_ + p] = static_cast<std::int8_t>(q);
+      rowsum += q;
+    }
+    wr[i] = rowsum;
+  }
+  guard_error_coeffs(layers, guard_kappa(kInt8GuardKappa),
+                     chunk_slot);
+}
+
+void MultiModelEval::guard_error_coeffs(std::span<const LayerView> layers,
+                                        float kappa,
+                                        std::size_t chunk_slot) {
+  // Propagate the layer-0 per-unit error variance components through
+  // the downstream fp32 layers. Hidden activations (ReLU, tanh) are
+  // 1-Lipschitz, so they never amplify the error, and variances of
+  // independent per-unit perturbations mix LINEARLY across a dense
+  // layer (var_out_r = sum_p w_pr^2 var_p) — so the two per-sample
+  // components propagate separately and stay separable:
+  //   var_logit_r(s) = A_r * ||x_s||^2 + B_r * v_s.
+  auto propagate = [&](std::vector<float>& vec) -> std::vector<float>& {
+    std::vector<float>* cur = &vec;
+    std::vector<float>* nxt = &err_tmp_;
+    for (std::size_t l = 1; l < layers.size(); ++l) {
+      const LayerView& lv = layers[l];
+      nxt->resize(lv.d_out);
+      for (std::size_t r = 0; r < lv.d_out; ++r) {
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < lv.d_in; ++p) {
+          const float w = lv.w[p * lv.d_out + r];
+          acc += w * w * (*cur)[p];
+        }
+        (*nxt)[r] = acc;
+      }
+      std::swap(cur, nxt);
+    }
+    return *cur;
+  };
+  err_a_.assign(ehid_a_.begin(), ehid_a_.end());
+  std::vector<float>& a_fin = propagate(err_a_);
+  // propagate() may leave its result in err_tmp_; copy before reuse.
+  if (&a_fin != &err_a_) err_a_ = a_fin;
+  err_b_.assign(ehid_b_.begin(), ehid_b_.end());
+  std::vector<float>& b_fin = propagate(err_b_);
+  const std::vector<float>& a_vec = err_a_;
+  const std::vector<float>& b_vec = b_fin;
+  // A top-2 margin can close by at most err(winner) + err(runner-up)
+  // <= sqrt(2 * (var_win + var_second)). The winner's class is known at
+  // scan time, so the factors are PER CLASS: ga[c]/gb[c] bound the pair
+  // (c, worst other class) — component-wise maxima over o != c keep it
+  // an upper bound on max_o (A_o u + B_o v) for u, v >= 0. The sqrt(2)
+  // and the <= slack fold into the empirically calibrated kappa.
+  const std::size_t n = a_vec.size();
+  std::size_t ia = 0;
+  float a1 = -1.0f, a2 = -1.0f;
+  std::size_t ib = 0;
+  float b1 = -1.0f, b2 = -1.0f;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (a_vec[r] > a1) {
+      a2 = a1;
+      a1 = a_vec[r];
+      ia = r;
+    } else if (a_vec[r] > a2) {
+      a2 = a_vec[r];
+    }
+    if (b_vec[r] > b1) {
+      b2 = b1;
+      b1 = b_vec[r];
+      ib = r;
+    } else if (b_vec[r] > b2) {
+      b2 = b_vec[r];
+    }
+  }
+  const float k2 = 2.0f * kappa * kappa;
+  float* ga = guard_ga_.data() + chunk_slot * n;
+  float* gb = guard_gb_.data() + chunk_slot * n;
+  for (std::size_t c = 0; c < n; ++c) {
+    const float a_other = (c == ia && n > 1) ? a2 : a1;
+    const float b_other = (c == ib && n > 1) ? b2 : b1;
+    ga[c] = k2 * (a_vec[c] + a_other);
+    gb[c] = k2 * (b_vec[c] + b_other);
+  }
+}
+
+const float* MultiModelEval::eval_panel_fp32(
+    std::span<const LayerView> layers, const float* xpanel) {
+  const kernels::KernelTable& t = kernels::active_table();
+  const float* in = xpanel;
+  float* cur = panel_a_.data();
+  float* nxt = panel_b_.data();
+  const float* last = nullptr;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const LayerView& lv = layers[l];
+    const bool hidden = l + 1 < layers.size();
+    const bool relu = hidden && config_.hidden_activation == Activation::kRelu;
+    kernels::EvalLayerArgs a{lv.w,  1,   lv.d_out, lv.bias, in,
+                             cur,   lv.d_in,       lv.d_out, relu};
+    t.eval_layer_f32(a);
+    if (hidden && config_.hidden_activation == Activation::kTanh) {
+      // Same element-wise std::tanh as activation_forward, applied to
+      // per-arm-identical inputs: stays bit-identical to the
+      // sequential path.
+      for (std::size_t i = 0; i < lv.d_out * kPC; ++i) {
+        cur[i] = std::tanh(cur[i]);
+      }
+    }
+    last = cur;
+    in = cur;
+    std::swap(cur, nxt);
+  }
+  return last;
+}
+
+const float* MultiModelEval::eval_panel_bf16(
+    std::span<const LayerView> layers, std::size_t chunk_slot,
+    const float* xpanel) {
+  // bf16 numerics at fp32 speed: every operand (weights, inputs,
+  // inter-layer activations) is bf16-ROUNDED, but lives in its exact
+  // fp32 widening, so the fp32 layer kernel reproduces a bf16-storage /
+  // fp32-accumulate pipeline bit-for-bit without any per-tile
+  // conversion work.
+  const kernels::KernelTable& t = kernels::active_table();
+  const float* w = wq_bf16f_.data() + chunk_slot * num_weights_;
+  const float* in = xpanel;
+  float* cur = panel_a_.data();
+  float* nxt = panel_b_.data();
+  const float* last = nullptr;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const LayerView& lv = layers[l];
+    const bool hidden = l + 1 < layers.size();
+    const bool relu = hidden && config_.hidden_activation == Activation::kRelu;
+    kernels::EvalLayerArgs a{w,   1,       lv.d_out, lv.bias, in,
+                             cur, lv.d_in, lv.d_out, relu};
+    t.eval_layer_f32(a);
+    w += lv.d_in * lv.d_out;
+    if (hidden && config_.hidden_activation == Activation::kTanh) {
+      for (std::size_t i = 0; i < lv.d_out * kPC; ++i) {
+        cur[i] = std::tanh(cur[i]);
+      }
+    }
+    last = cur;
+    if (hidden) {
+      // Next layer consumes bf16-rounded activations: round-trip the
+      // fp32 activations through bf16 once.
+      t.convert_f32_bf16(cur, panel_bf16_.data(), lv.d_out * kPC);
+      t.convert_bf16_f32(panel_bf16_.data(), cur, lv.d_out * kPC);
+      in = cur;
+    }
+    std::swap(cur, nxt);
+  }
+  return last;
+}
+
+const float* MultiModelEval::eval_panel_u8(std::span<const LayerView> layers,
+                                           std::size_t chunk_slot,
+                                           const std::uint8_t* xpanel,
+                                           const float* xscale,
+                                           const float* xoffset) {
+  const kernels::KernelTable& t = kernels::active_table();
+  const LayerView& l0 = layers[0];
+  const bool l0_hidden = layers.size() > 1;
+  const bool l0_relu =
+      l0_hidden && config_.hidden_activation == Activation::kRelu;
+  kernels::EvalLayerU8Args a{
+      wq_u8_.data() + chunk_slot * wq_u8_stride_,
+      wq_scale_.data() + chunk_slot * wq_unit_stride_,
+      wq_rowsum_.data() + chunk_slot * wq_unit_stride_,
+      l0.bias,
+      xpanel,
+      xscale,
+      xoffset,
+      panel_a_.data(),
+      k_pad_,
+      l0.d_out,
+      l0_relu};
+  t.eval_layer_u8(a);
+  if (l0_hidden && config_.hidden_activation == Activation::kTanh) {
+    for (std::size_t i = 0; i < l0.d_out * kPC; ++i) {
+      panel_a_.data()[i] = std::tanh(panel_a_.data()[i]);
+    }
+  }
+  if (!l0_hidden) return panel_a_.data();
+  // Remaining layers run fp32: their operands are per-model activations
+  // whose quantization would cost as much as it saves (only the shared
+  // X pack amortizes quantization across models).
+  const float* in = panel_a_.data();
+  float* cur = panel_b_.data();
+  float* nxt = panel_a_.data();
+  const float* last = nullptr;
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    const LayerView& lv = layers[l];
+    const bool hidden = l + 1 < layers.size();
+    const bool relu = hidden && config_.hidden_activation == Activation::kRelu;
+    kernels::EvalLayerArgs fa{lv.w, 1,   lv.d_out, lv.bias, in,
+                              cur,  lv.d_in,       lv.d_out, relu};
+    t.eval_layer_f32(fa);
+    if (hidden && config_.hidden_activation == Activation::kTanh) {
+      for (std::size_t i = 0; i < lv.d_out * kPC; ++i) {
+        cur[i] = std::tanh(cur[i]);
+      }
+    }
+    last = cur;
+    in = cur;
+    std::swap(cur, nxt);
+  }
+  return last;
+}
+
+void MultiModelEval::guard_reeval(std::span<const MultiEvalModel> models,
+                                  std::size_t m0, std::size_t chunk,
+                                  EvalPrecision prec) {
+  const kernels::KernelTable& t = kernels::active_table();
+  const std::size_t d = config_.layer_dims.front();
+  const std::size_t classes = config_.layer_dims.back();
+  const float* u = xnorm2_.data();
+  const float* v = prec == EvalPrecision::kBf16 ? guard_v_bf16_.data()
+                                                : guard_v_u8_.data();
+  std::size_t flagged = 0;
+  for (std::size_t slot = 0; slot < chunk; ++slot) {
+    // Sqrt-free flag test: margin^2 against this (model, sample) pair's
+    // error-variance threshold (see guard_error_coeffs).
+    const float* ga = guard_ga_.data() + slot * classes;
+    const float* gb = guard_gb_.data() + slot * classes;
+    const float* mg = margins_.data() + slot * samples_;
+    std::size_t* preds = models[m0 + slot].preds.data();
+    guard_samples_.clear();
+    for (std::size_t s = 0; s < samples_; ++s) {
+      const std::size_t c = preds[s];
+      if (mg[s] * mg[s] < ga[c] * u[s] + gb[c] * v[s]) {
+        guard_samples_.push_back(s);
+      }
+    }
+    if (guard_samples_.empty()) continue;
+    flagged += guard_samples_.size();
+    std::span<const LayerView> views{chunk_views_.data() + slot * num_layers_,
+                                     num_layers_};
+    // Compact blocks: 16 flagged samples per fused-layer pass, gathered
+    // from contiguous rows of xrows_.
+    for (std::size_t g0 = 0; g0 < guard_samples_.size(); g0 += kPC) {
+      const std::size_t cnt = std::min(kPC, guard_samples_.size() - g0);
+      for (std::size_t c = 0; c < cnt; ++c) {
+        const float* src = xrows_.data() + guard_samples_[g0 + c] * d;
+        for (std::size_t p = 0; p < d; ++p) {
+          guard_panel_[p * kPC + c] = src[p];
+        }
+      }
+      const float* logits = eval_panel_fp32(views, guard_panel_.data());
+      kernels::ArgmaxMarginArgs am{logits, classes, cnt, guard_preds_.data(),
+                                   nullptr};
+      t.argmax_margin_panel(am);
+      for (std::size_t c = 0; c < cnt; ++c) {
+        preds[guard_samples_[g0 + c]] = guard_preds_[c];
+      }
+    }
+  }
+  if (flagged > 0) {
+    MetricsRegistry::global().add_counter("multi_eval.guard_samples", flagged);
+  }
+}
+
+void MultiModelEval::predict_into(std::span<const float> params,
+                                  std::span<std::size_t> out,
+                                  MlpEvalWorkspace& ws) {
+  const MultiEvalModel model{params, out};
+  predict_many({&model, 1}, ws);
+}
+
+void MultiModelEval::predict_many(std::span<const MultiEvalModel> models,
+                                  MlpEvalWorkspace& ws) {
+  BAFFLE_CHECK(!xpack_.empty() || samples_ == 0,
+               "MultiModelEval: bind() before predict");
+  for (const MultiEvalModel& m : models) {
+    BAFFLE_CHECK(m.preds.size() == samples_,
+                 "MultiModelEval: prediction span size mismatch");
+  }
+  if (samples_ == 0 || models.empty()) return;
+
+  const kernels::KernelTable& t = kernels::active_table();
+  const EvalPrecision prec = ws.precision;
+  const std::size_t d = config_.layer_dims.front();
+  const std::size_t classes = config_.layer_dims.back();
+  const std::size_t hidden0 = config_.layer_dims[1];
+
+  if (prec == EvalPrecision::kBf16) {
+    ensure_bf16_pack();
+    wq_bf16_.resize(kModelChunk * num_weights_);
+    wq_bf16f_.resize(kModelChunk * num_weights_);
+  } else if (prec == EvalPrecision::kInt8) {
+    ensure_u8_pack();
+    wq_u8_stride_ = hidden0 * k_pad_;
+    wq_unit_stride_ = hidden0;
+    wq_u8_.resize(kModelChunk * wq_u8_stride_);
+    wq_scale_.resize(kModelChunk * wq_unit_stride_);
+    wq_rowsum_.resize(kModelChunk * wq_unit_stride_);
+  }
+  const bool guarded = prec != EvalPrecision::kFp32;
+  if (guarded) {
+    margins_.resize(kModelChunk * samples_);
+    guard_ga_.resize(kModelChunk * classes);
+    guard_gb_.resize(kModelChunk * classes);
+  }
+  chunk_views_.resize(kModelChunk * num_layers_);
+
+  for (std::size_t m0 = 0; m0 < models.size(); m0 += kModelChunk) {
+    const std::size_t chunk = std::min(kModelChunk, models.size() - m0);
+    for (std::size_t slot = 0; slot < chunk; ++slot) {
+      LayerView* views = chunk_views_.data() + slot * num_layers_;
+      fill_layer_views(models[m0 + slot].params, views);
+      if (prec == EvalPrecision::kBf16) {
+        encode_weights_bf16({views, num_layers_}, slot);
+      } else if (prec == EvalPrecision::kInt8) {
+        encode_weights_u8({views, num_layers_}, slot);
+      }
+    }
+    // Two-level blocking. Model-inner per PANEL keeps the X panel hot
+    // but re-streams every chunk model's weights from L2 for each of
+    // the hundreds of panels — for realistic shapes the weights, not
+    // the shared panel, are the big operand (fp32 {32,128,10}: 22 KB of
+    // weights vs a 2 KB panel). Iterating a BLOCK of panels per model
+    // inverts that: one model's weights are fetched once per block and
+    // stay L1-hot across the block's panels, while the X block is
+    // re-read per model as a cheap sequential L2 stream.
+    constexpr std::size_t kPanelBlock = 16;
+    for (std::size_t jb = 0; jb < panels_; jb += kPanelBlock) {
+      const std::size_t jend = std::min(panels_, jb + kPanelBlock);
+      for (std::size_t slot = 0; slot < chunk; ++slot) {
+        std::span<const LayerView> views{
+            chunk_views_.data() + slot * num_layers_, num_layers_};
+        for (std::size_t jp = jb; jp < jend; ++jp) {
+          const std::size_t j0 = jp * kPC;
+          const std::size_t cols = std::min(kPC, samples_ - j0);
+          const float* logits = nullptr;
+          switch (prec) {
+            case EvalPrecision::kFp32:
+              logits = eval_panel_fp32(views, xpack_.data() + jp * d * kPC);
+              break;
+            case EvalPrecision::kBf16:
+              logits = eval_panel_bf16(views, slot,
+                                       xpack_bf16f_.data() + jp * d * kPC);
+              break;
+            case EvalPrecision::kInt8:
+              logits = eval_panel_u8(views, slot,
+                                     xpack_u8_.data() + jp * k_pad_ * kPC,
+                                     xscale_u8_.data() + jp * kPC,
+                                     xoffset_u8_.data() + jp * kPC);
+              break;
+          }
+          kernels::ArgmaxMarginArgs am{
+              logits, classes, cols, models[m0 + slot].preds.data() + j0,
+              guarded ? margins_.data() + slot * samples_ + j0 : nullptr};
+          t.argmax_margin_panel(am);
+        }
+      }
+    }
+    if (guarded) {
+      // Any argmax won by less than the model's derived error threshold
+      // is re-decided by the fp32 path, so reduced precision can only
+      // be trusted where it verifiably cannot flip the prediction.
+      guard_reeval(models, m0, chunk, prec);
+    }
+  }
+}
+
+}  // namespace baffle

@@ -1,0 +1,216 @@
+#pragma once
+// Batched multi-model evaluation engine (DESIGN.md §14).
+//
+// The validator evaluates ℓ+1 models per round against ONE fixed
+// dataset. Mlp::predict_into re-runs the whole inference pipeline per
+// model: materialize parameters into a scratch model, re-pack its
+// weights, stream X through GEMM + bias + activation, argmax. This
+// engine inverts the loop: the features are packed ONCE as Xᵀ panels
+// (pack_bt_panels: 16 sample-columns per panel) at bind() time, and
+// every model is evaluated by streaming its layers over the shared
+// panels with fused transposed-layer kernels — out = Wᵀ·in with the
+// bias add and ReLU applied while the tile is still in registers, the
+// weights read in place from the flat parameter vector (no
+// set_parameters, no per-model packing), and each panel's activations
+// chained entirely in cache.
+//
+// Precision contract (MlpEvalWorkspace::precision):
+//  - kFp32 (default): predictions are BIT-IDENTICAL to
+//    Mlp::predict_into on the same kernel arm. The fused kernels keep
+//    the sequential path's accumulation order (fold-left over the inner
+//    dimension from a zero accumulator, one post-sum bias add, same
+//    ReLU and first-max argmax), so confusion matrices, votes, φ and τ
+//    are unchanged byte-for-byte.
+//  - kBf16 / kInt8: evaluation-only reduced-precision arms. Logits are
+//    approximate; predictions are protected by a top-2 margin guard —
+//    any sample whose winning logit leads by less than the guard margin
+//    is re-evaluated through the fp32 path, so only confidently-led
+//    argmaxes may rely on reduced-precision arithmetic. Training and
+//    every default path stay fp32.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "tensor/aligned.hpp"
+#include "tensor/ops.hpp"
+
+namespace baffle {
+
+/// One model of a batched evaluation: flat parameters (Mlp layout:
+/// per layer, weights row-major then bias) plus the destination for its
+/// per-sample predictions (size = bound sample count).
+struct MultiEvalModel {
+  std::span<const float> params;
+  std::span<std::size_t> preds;
+};
+
+class MultiModelEval {
+ public:
+  explicit MultiModelEval(MlpConfig config);
+
+  /// Packs the evaluation features Xᵀ once. `x` is (samples, dim) with
+  /// dim = layer_dims.front(); the reference is not retained. Rebinding
+  /// replaces the pack (and drops any reduced-precision mirrors).
+  void bind(const Matrix& x);
+  bool bound() const { return samples_ > 0; }
+  std::size_t bound_samples() const { return samples_; }
+
+  /// Evaluates one model against the bound features. `out.size()` must
+  /// equal bound_samples(). ws.precision selects the arm.
+  void predict_into(std::span<const float> params,
+                    std::span<std::size_t> out, MlpEvalWorkspace& ws);
+
+  /// Evaluates a batch of models panel-outer/model-inner: each packed
+  /// X panel is loaded once and streamed through every model before
+  /// moving on, so the shared operand's memory traffic is paid once per
+  /// batch instead of once per model.
+  void predict_many(std::span<const MultiEvalModel> models,
+                    MlpEvalWorkspace& ws);
+
+  /// Safety factor on the per-(model, sample) guard threshold. The
+  /// threshold is not a fixed constant: for every model the engine
+  /// derives per-logit error VARIANCE coefficients from the actual
+  /// quantization step sizes (per-row weight scales for int8, relative
+  /// 2^-8 rounding for bf16), propagates them through the downstream
+  /// fp32 layers (variances mix linearly across a dense layer), and
+  /// scales them per sample by that sample's own magnitude statistics
+  /// (||x||^2 for the weight-step term, the sample's quantization step
+  /// for the input-step term) — so the guard widens for drifted models
+  /// AND for large-norm samples instead of relying on one scenario's
+  /// calibration. The flag test is sqrt-free and class-aware:
+  /// margin^2 < 2 * kappa^2 * (variance of the predicted class + the
+  /// worst other class); kappa is calibrated empirically
+  /// (BAFFLE_GUARD_KAPPA sweep, DESIGN.md §14) against the observed
+  /// failure boundary of kappa ~= 1.0 on 40-step drift chains across
+  /// relu/tanh, H in {64,128} and a 2-hidden-layer net (1.6M argmax
+  /// decisions per config): int8 carries 1.5x headroom (its variance
+  /// model is exact — the quantization steps are known constants),
+  /// bf16 carries 2x (its 2^-8 relative-step model is itself a bound).
+  static constexpr float kInt8GuardKappa = 1.5f;
+  static constexpr float kBf16GuardKappa = 2.0f;
+
+  /// Models per inner batch: bounds the per-model weight scratch
+  /// (reduced-precision arms re-encode weights per model).
+  static constexpr std::size_t kModelChunk = 16;
+
+ private:
+  struct LayerView {
+    const float* w = nullptr;     // (d_in, d_out) row-major
+    const float* bias = nullptr;  // d_out
+    std::size_t d_in = 0;
+    std::size_t d_out = 0;
+  };
+
+  /// Fills `out[0 .. num_layers_)` with the layer views of one flat
+  /// parameter vector (Mlp layout: per layer, weights row-major then
+  /// bias).
+  void fill_layer_views(std::span<const float> params, LayerView* out) const;
+  void ensure_bf16_pack();
+  void ensure_u8_pack();
+
+  /// Runs one model over one panel, leaving the logits panel in the
+  /// scratch buffer it returns. `chunk_slot` selects the model's weight
+  /// scratch (reduced-precision arms).
+  const float* eval_panel_fp32(std::span<const LayerView> layers,
+                               const float* xpanel);
+  const float* eval_panel_bf16(std::span<const LayerView> layers,
+                               std::size_t chunk_slot, const float* xpanel);
+  const float* eval_panel_u8(std::span<const LayerView> layers,
+                             std::size_t chunk_slot,
+                             const std::uint8_t* xpanel,
+                             const float* xscale, const float* xoffset);
+
+  /// Re-decides every flagged (model, sample) pair of the chunk through
+  /// the fp32 path. Each slot's flagged samples are packed into COMPACT
+  /// 16-column panels (one fused-layer pass re-decides 16 flagged
+  /// samples), and the gather reads the row-major `xrows_` copy — one
+  /// or two contiguous cache lines per sample instead of d strided
+  /// lines from the column-panel pack.
+  void guard_reeval(std::span<const MultiEvalModel> models, std::size_t m0,
+                    std::size_t chunk, EvalPrecision prec);
+
+  /// Per-model guard coefficients: propagates the layer-0 per-unit
+  /// error variance components `ehid_a_` (weight-step term, scaled per
+  /// sample by ||x||^2) and `ehid_b_` (input-step term, scaled per
+  /// sample by the arm's per-sample step statistic) through the model's
+  /// downstream layers and stores PER-CLASS flag-test factors
+  /// guard_ga_/guard_gb_[chunk_slot * classes + c] — class c's own
+  /// coefficient plus the worst other class's — so the scan is
+  /// margin^2 < ga[pred_s] * ||x_s||^2 + gb[pred_s] * v_s.
+  void guard_error_coeffs(std::span<const LayerView> layers, float kappa,
+                          std::size_t chunk_slot);
+
+  /// Per-model weight re-encoding for the reduced-precision arms.
+  void encode_weights_bf16(std::span<const LayerView> layers,
+                           std::size_t chunk_slot);
+  void encode_weights_u8(std::span<const LayerView> layers,
+                         std::size_t chunk_slot);
+
+  MlpConfig config_;
+  std::size_t num_layers_ = 0;  // dense layers (= layer_dims - 1)
+  std::size_t num_params_ = 0;
+  std::size_t num_weights_ = 0;  // weight (non-bias) parameter count
+  std::size_t max_width_ = 0;    // widest layer (incl. input)
+  std::size_t k_pad_ = 0;        // input dim padded to a multiple of 4
+  std::size_t samples_ = 0;
+  std::size_t panels_ = 0;
+
+  PackedB xpack_;  // fp32 Xᵀ panels — always present once bound
+
+  // Row-major fp32 copy of the bound features plus per-sample guard
+  // statistics: the guard re-gathers flagged samples from contiguous
+  // rows (cheap) rather than from the 64-byte-strided panel columns,
+  // and the flag test scales each sample's threshold by its own
+  // magnitude. guard_v_* hold the arm-specific per-sample input-step
+  // statistic (u8: step^2; bf16: (2^-8 max|x|)^2).
+  AlignedFloatVec xrows_;        // samples x d
+  AlignedFloatVec xnorm2_;       // per sample ||x||^2
+  AlignedFloatVec guard_v_bf16_; // per sample (2^-8 max|x|)^2
+  AlignedFloatVec guard_v_u8_;   // per sample u8 step^2
+
+  // bf16 mirror of the X pack (same panel layout), built lazily, plus
+  // its exactly-widened fp32 image: on AVX2 the bf16 arm is "bf16
+  // storage, fp32 compute", and since bf16 -> f32 widening is exact the
+  // engine widens the rounded operands ONCE and streams them through
+  // the fp32 layer kernel — bit-identical to re-widening inside a bf16
+  // kernel per tile, without paying that conversion per panel x model.
+  std::vector<std::uint16_t> xpack_bf16_;
+  AlignedFloatVec xpack_bf16f_;
+  // u8 mirror: per panel, (d_pad/4) x 16 x 4 bytes plus per-column
+  // affine scale/offset, built lazily.
+  std::vector<std::uint8_t> xpack_u8_;
+  AlignedFloatVec xscale_u8_;
+  AlignedFloatVec xoffset_u8_;
+
+  // Panel-sized fp32 scratch (ping-pong between layers) and the
+  // reduced-precision activation scratch.
+  AlignedFloatVec panel_a_;
+  AlignedFloatVec panel_b_;
+  std::vector<std::uint16_t> panel_bf16_;
+  std::vector<std::uint8_t> panel_u8_;
+  AlignedFloatVec panel_u8_scale_;
+  AlignedFloatVec panel_u8_offset_;
+  AlignedFloatVec guard_panel_;
+
+  // Per-chunk-slot weight scratch for the reduced-precision arms.
+  std::vector<std::uint16_t> wq_bf16_;       // kModelChunk x weights
+  AlignedFloatVec wq_bf16f_;                 // widened image of wq_bf16_
+  std::vector<std::int8_t> wq_u8_;           // kModelChunk x padded rows
+  AlignedFloatVec wq_scale_;                 // kModelChunk x units
+  std::vector<std::int32_t> wq_rowsum_;      // kModelChunk x units
+  std::size_t wq_u8_stride_ = 0;             // bytes per model slot
+  std::size_t wq_unit_stride_ = 0;           // units per model slot
+
+  std::vector<LayerView> chunk_views_;       // kModelChunk x num_layers_
+  std::vector<float> margins_;               // kModelChunk x samples
+  std::vector<std::size_t> guard_samples_;   // one slot's flagged samples
+  std::vector<std::size_t> guard_preds_;     // guard re-eval output
+  std::vector<float> guard_ga_, guard_gb_;   // slot x class flag factors
+  std::vector<float> ehid_a_, ehid_b_;       // layer-0 variance components
+  std::vector<float> err_a_, err_b_;         // propagation scratch
+  std::vector<float> err_tmp_;               // propagation ping-pong
+};
+
+}  // namespace baffle

@@ -1,0 +1,591 @@
+// Reduced-precision evaluation arm: bf16-storage and u8xi8 integer
+// fused-layer kernels plus the conversion/quantization primitives they
+// need (DESIGN.md §14). Like kernels_simd.cpp this TU is compiled with
+// AVX2+FMA codegen and is the only place these intrinsics may live; the
+// entries are spliced into the vector KernelTable via
+// detail::install_reduced_precision_avx2 so non-AVX2 builds and CPUs
+// keep the scalar implementations.
+//
+// Unlike kernels_simd.cpp this TU is built with -ffp-contract=off: the
+// u8 dequantization epilogue must round exactly like the scalar arm's
+// mul-then-add (the integer accumulators are already bit-identical
+// across arms), so no implicit FMA contraction is allowed. Where FMA is
+// wanted (the bf16 accumulation loop) it is written explicitly with
+// _mm256_fmadd_ps.
+
+#include "tensor/kernels.hpp"
+#include "tensor/simd.hpp"  // for BAFFLE_ALWAYS_INLINE only
+
+#if defined(BAFFLE_SIMD_TARGET_AVX2) && defined(__AVX2__) && \
+    defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace baffle::kernels {
+namespace {
+
+// ---- bf16 scalar helpers (bit-identical to the scalar arm's) ----
+
+std::uint16_t f32_to_bf16_rne_1(float x) {
+  std::uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  if ((u & 0x7fffffffu) > 0x7f800000u) {
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  u += 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+float bf16_to_f32_1(std::uint16_t h) {
+  const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+  float x;
+  std::memcpy(&x, &u, sizeof(x));
+  return x;
+}
+
+/// Widen 8 bf16 (lower 128 bits of a 16-element load) to 8 fp32.
+BAFFLE_ALWAYS_INLINE __m256 widen_bf16_8(__m128i h) {
+  return _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16));
+}
+
+void convert_bf16_f32(const std::uint16_t* in, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    _mm256_storeu_ps(out + i, widen_bf16_8(h));
+  }
+  for (; i < n; ++i) out[i] = bf16_to_f32_1(in[i]);
+}
+
+void convert_f32_bf16(const float* in, std::uint16_t* out, std::size_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i exp_inf = _mm256_set1_epi32(0x7f800000);
+  const __m256i rne_bias = _mm256_set1_epi32(0x7fff);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i quiet = _mm256_set1_epi32(0x0040);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i lo, hi;
+    {
+      const __m256i u = _mm256_castps_si256(_mm256_loadu_ps(in + i));
+      // (u & 0x7fffffff) is non-negative as i32, so the signed compare
+      // implements the unsigned NaN test exactly.
+      const __m256i nan_mask =
+          _mm256_cmpgt_epi32(_mm256_and_si256(u, abs_mask), exp_inf);
+      const __m256i rne = _mm256_srli_epi32(
+          _mm256_add_epi32(
+              u, _mm256_add_epi32(
+                     rne_bias,
+                     _mm256_and_si256(_mm256_srli_epi32(u, 16), one))),
+          16);
+      const __m256i nan16 =
+          _mm256_or_si256(_mm256_srli_epi32(u, 16), quiet);
+      lo = _mm256_blendv_epi8(rne, nan16, nan_mask);
+    }
+    {
+      const __m256i u = _mm256_castps_si256(_mm256_loadu_ps(in + i + 8));
+      const __m256i nan_mask =
+          _mm256_cmpgt_epi32(_mm256_and_si256(u, abs_mask), exp_inf);
+      const __m256i rne = _mm256_srli_epi32(
+          _mm256_add_epi32(
+              u, _mm256_add_epi32(
+                     rne_bias,
+                     _mm256_and_si256(_mm256_srli_epi32(u, 16), one))),
+          16);
+      const __m256i nan16 =
+          _mm256_or_si256(_mm256_srli_epi32(u, 16), quiet);
+      hi = _mm256_blendv_epi8(rne, nan16, nan_mask);
+    }
+    // Both inputs are <= 0xffff per lane, so the unsigned-saturating
+    // pack is exact; packus works per 128-bit lane, fix with a permute.
+    const __m256i packed = _mm256_permute4x64_epi64(
+        _mm256_packus_epi32(lo, hi), _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), packed);
+  }
+  for (; i < n; ++i) out[i] = f32_to_bf16_rne_1(in[i]);
+}
+
+// ---- bf16 fused layer ----
+
+/// MR x 16 tile over a bf16 panel: widen 16 bf16 inputs per inner step,
+/// broadcast-widen the bf16 weight, accumulate in fp32 with explicit
+/// FMA. MR=4 leaves headroom for the widening temporaries.
+template <int MR>
+BAFFLE_ALWAYS_INLINE void eval_tile_bf16(const EvalLayerBf16Args& g,
+                                         std::size_t i0) {
+  __m256 acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  const std::uint16_t* a0 = g.a + i0 * g.a_row_stride;
+  for (std::size_t p = 0; p < g.k; ++p) {
+    const __m256i h = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(g.in + p * kPanelCols));
+    const __m256 b0 = widen_bf16_8(_mm256_castsi256_si128(h));
+    const __m256 b1 = widen_bf16_8(_mm256_extracti128_si256(h, 1));
+    const std::uint16_t* ap = a0 + p * g.a_p_stride;
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av =
+          _mm256_set1_ps(bf16_to_f32_1(ap[r * g.a_row_stride]));
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  const __m256 zero = _mm256_setzero_ps();
+  for (int r = 0; r < MR; ++r) {
+    const __m256 bv = _mm256_set1_ps(g.bias[i0 + r]);
+    __m256 v0 = _mm256_add_ps(acc0[r], bv);
+    __m256 v1 = _mm256_add_ps(acc1[r], bv);
+    if (g.relu) {
+      v0 = _mm256_max_ps(v0, zero);
+      v1 = _mm256_max_ps(v1, zero);
+    }
+    float* out = g.out + (i0 + r) * kPanelCols;
+    _mm256_storeu_ps(out, v0);
+    _mm256_storeu_ps(out + 8, v1);
+  }
+}
+
+/// MR x 16 tile over an already-widened fp32 copy of the panel: same
+/// operand values as eval_tile_bf16 (bf16->f32 widening is exact), but
+/// the per-tile re-widening of the shared input panel is gone, so the
+/// inner loop matches the fp32 kernel's shape — broadcast-widen one
+/// weight, two FMAs — and MR=6 fits (12 accumulators + 3 temporaries).
+template <int MR>
+BAFFLE_ALWAYS_INLINE void eval_tile_bf16_wide(const EvalLayerBf16Args& g,
+                                              const float* in_f32,
+                                              std::size_t i0) {
+  __m256 acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  const std::uint16_t* a0 = g.a + i0 * g.a_row_stride;
+  for (std::size_t p = 0; p < g.k; ++p) {
+    const float* bp = in_f32 + p * kPanelCols;
+    const __m256 b0 = _mm256_load_ps(bp);
+    const __m256 b1 = _mm256_load_ps(bp + 8);
+    const std::uint16_t* ap = a0 + p * g.a_p_stride;
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av =
+          _mm256_set1_ps(bf16_to_f32_1(ap[r * g.a_row_stride]));
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  const __m256 zero = _mm256_setzero_ps();
+  for (int r = 0; r < MR; ++r) {
+    const __m256 bv = _mm256_set1_ps(g.bias[i0 + r]);
+    __m256 v0 = _mm256_add_ps(acc0[r], bv);
+    __m256 v1 = _mm256_add_ps(acc1[r], bv);
+    if (g.relu) {
+      v0 = _mm256_max_ps(v0, zero);
+      v1 = _mm256_max_ps(v1, zero);
+    }
+    float* out = g.out + (i0 + r) * kPanelCols;
+    _mm256_storeu_ps(out, v0);
+    _mm256_storeu_ps(out + 8, v1);
+  }
+}
+
+/// Input depths covered by the widen-once fast path (stack buffer of
+/// kBf16WidenCap x 16 fp32 = 16 KiB). Larger layers fall back to the
+/// per-tile widening tiles.
+constexpr std::size_t kBf16WidenCap = 256;
+
+void eval_layer_bf16(const EvalLayerBf16Args& g) {
+  if (g.k <= kBf16WidenCap && g.n_out >= 6) {
+    // Widen the shared 16-column input panel once; every output tile
+    // then streams fp32 operands exactly like the fp32 kernel.
+    alignas(32) float in_f32[kBf16WidenCap * kPanelCols];
+    for (std::size_t p = 0; p < g.k * kPanelCols; p += 8) {
+      const __m128i h = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(g.in + p));
+      _mm256_store_ps(in_f32 + p, widen_bf16_8(h));
+    }
+    std::size_t i = 0;
+    for (; i + 6 <= g.n_out; i += 6) eval_tile_bf16_wide<6>(g, in_f32, i);
+    switch (g.n_out - i) {
+      case 5: eval_tile_bf16_wide<5>(g, in_f32, i); break;
+      case 4: eval_tile_bf16_wide<4>(g, in_f32, i); break;
+      case 3: eval_tile_bf16_wide<3>(g, in_f32, i); break;
+      case 2: eval_tile_bf16_wide<2>(g, in_f32, i); break;
+      case 1: eval_tile_bf16_wide<1>(g, in_f32, i); break;
+      default: break;
+    }
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 4 <= g.n_out; i += 4) eval_tile_bf16<4>(g, i);
+  switch (g.n_out - i) {
+    case 3: eval_tile_bf16<3>(g, i); break;
+    case 2: eval_tile_bf16<2>(g, i); break;
+    case 1: eval_tile_bf16<1>(g, i); break;
+    default: break;
+  }
+}
+
+// ---- u8 quantization + u8xi8 fused layer ----
+
+void quantize_panel_u8(const QuantizePanelU8Args& g) {
+  // Per-column min/max over the fp32 panel, 16 columns at once.
+  __m256 mn0 = _mm256_loadu_ps(g.in);
+  __m256 mn1 = _mm256_loadu_ps(g.in + 8);
+  __m256 mx0 = mn0, mx1 = mn1;
+  for (std::size_t p = 1; p < g.k; ++p) {
+    const __m256 v0 = _mm256_loadu_ps(g.in + p * kPanelCols);
+    const __m256 v1 = _mm256_loadu_ps(g.in + p * kPanelCols + 8);
+    mn0 = _mm256_min_ps(mn0, v0);
+    mn1 = _mm256_min_ps(mn1, v1);
+    mx0 = _mm256_max_ps(mx0, v0);
+    mx1 = _mm256_max_ps(mx1, v1);
+  }
+  // s = span / 127 when span > 0 else 1; inv = 1 / s. Division in both
+  // arms (never a reciprocal) keeps the quantized panels bit-identical.
+  const __m256 k127 = _mm256_set1_ps(127.0f);
+  const __m256 ones = _mm256_set1_ps(1.0f);
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 span0 = _mm256_sub_ps(mx0, mn0);
+  const __m256 span1 = _mm256_sub_ps(mx1, mn1);
+  const __m256 live0 = _mm256_cmp_ps(span0, zero, _CMP_GT_OQ);
+  const __m256 live1 = _mm256_cmp_ps(span1, zero, _CMP_GT_OQ);
+  const __m256 s0 =
+      _mm256_blendv_ps(ones, _mm256_div_ps(span0, k127), live0);
+  const __m256 s1 =
+      _mm256_blendv_ps(ones, _mm256_div_ps(span1, k127), live1);
+  const __m256 inv0 = _mm256_div_ps(ones, s0);
+  const __m256 inv1 = _mm256_div_ps(ones, s1);
+  _mm256_storeu_ps(g.scale, s0);
+  _mm256_storeu_ps(g.scale + 8, s1);
+  _mm256_storeu_ps(g.offset, mn0);
+  _mm256_storeu_ps(g.offset + 8, mn1);
+
+  const __m256i q_lo = _mm256_setzero_si256();
+  const __m256i q_hi = _mm256_set1_epi32(127);
+  // Interleave each 4-row block into per-column byte groups: after
+  // packs/packus lane0 holds [r0c0..3 r1c0..3 r2c0..3 r3c0..3]; this
+  // shuffle regroups it to [c0:r0r1r2r3][c1:...][c2][c3].
+  const __m256i regroup = _mm256_setr_epi8(
+      0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15,  //
+      0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15);
+  const std::size_t full_blocks = g.k / 4;
+  for (std::size_t p4 = 0; p4 < full_blocks; ++p4) {
+    __m256i row_lo[4], row_hi[4];
+    for (std::size_t t = 0; t < 4; ++t) {
+      const float* src = g.in + (p4 * 4 + t) * kPanelCols;
+      const __m256 v0 = _mm256_loadu_ps(src);
+      const __m256 v1 = _mm256_loadu_ps(src + 8);
+      // cvtps2dq rounds to nearest-even like the scalar nearbyint.
+      __m256i qa = _mm256_cvtps_epi32(
+          _mm256_mul_ps(_mm256_sub_ps(v0, mn0), inv0));
+      __m256i qb = _mm256_cvtps_epi32(
+          _mm256_mul_ps(_mm256_sub_ps(v1, mn1), inv1));
+      qa = _mm256_min_epi32(_mm256_max_epi32(qa, q_lo), q_hi);
+      qb = _mm256_min_epi32(_mm256_max_epi32(qb, q_lo), q_hi);
+      row_lo[t] = qa;
+      row_hi[t] = qb;
+    }
+    // Values are in [0,127]: both saturating packs are exact.
+    const __m256i pk_lo = _mm256_shuffle_epi8(
+        _mm256_packus_epi16(_mm256_packs_epi32(row_lo[0], row_lo[1]),
+                            _mm256_packs_epi32(row_lo[2], row_lo[3])),
+        regroup);
+    const __m256i pk_hi = _mm256_shuffle_epi8(
+        _mm256_packus_epi16(_mm256_packs_epi32(row_hi[0], row_hi[1]),
+                            _mm256_packs_epi32(row_hi[2], row_hi[3])),
+        regroup);
+    std::uint8_t* dst = g.out + p4 * 4 * kPanelCols;
+    // pk_lo lane0 = cols 0-3, lane1 = cols 4-7; pk_hi = cols 8-15.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), pk_lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 32), pk_hi);
+  }
+  if (full_blocks * 4 < g.k_pad) {
+    // Tail block (< 4 live rows) + zero padding: scalar, same formula
+    // and rounding (nearbyint == cvtps2dq under default rounding).
+    alignas(32) float s_arr[kPanelCols], mn_arr[kPanelCols];
+    _mm256_store_ps(s_arr, inv0);
+    _mm256_store_ps(s_arr + 8, inv1);
+    _mm256_store_ps(mn_arr, mn0);
+    _mm256_store_ps(mn_arr + 8, mn1);
+    for (std::size_t p = full_blocks * 4; p < g.k_pad; ++p) {
+      for (std::size_t c = 0; c < kPanelCols; ++c) {
+        std::int32_t q = 0;
+        if (p < g.k) {
+          const float v = g.in[p * kPanelCols + c];
+          q = static_cast<std::int32_t>(
+              std::nearbyint((v - mn_arr[c]) * s_arr[c]));
+          q = q < 0 ? 0 : (q > 127 ? 127 : q);
+        }
+        g.out[(p / 4) * 4 * kPanelCols + c * 4 + (p % 4)] =
+            static_cast<std::uint8_t>(q);
+      }
+    }
+  }
+}
+
+/// Dequantization epilogue of one tile row. Exactly the scalar
+/// epilogue's operation sequence (this TU is compiled with
+/// -ffp-contract=off, so mul/add never fuse):
+///   v = float(acc) * (ws * in_scale[c]) + (in_offset[c] * wsr + b)
+BAFFLE_ALWAYS_INLINE void dequant_store_row(
+    const EvalLayerU8Args& g, std::size_t i, __m256i acc0, __m256i acc1,
+    const __m256 off_lo, const __m256 off_hi, const __m256 isc_lo,
+    const __m256 isc_hi) {
+  const float ws = g.w_scale[i];
+  const float wsr = ws * static_cast<float>(g.w_rowsum[i]);
+  const __m256 wsv = _mm256_set1_ps(ws);
+  const __m256 wsrv = _mm256_set1_ps(wsr);
+  const __m256 bv = _mm256_set1_ps(g.bias[i]);
+  const __m256 base_lo = _mm256_add_ps(_mm256_mul_ps(off_lo, wsrv), bv);
+  const __m256 base_hi = _mm256_add_ps(_mm256_mul_ps(off_hi, wsrv), bv);
+  __m256 v0 = _mm256_add_ps(
+      _mm256_mul_ps(_mm256_cvtepi32_ps(acc0), _mm256_mul_ps(wsv, isc_lo)),
+      base_lo);
+  __m256 v1 = _mm256_add_ps(
+      _mm256_mul_ps(_mm256_cvtepi32_ps(acc1), _mm256_mul_ps(wsv, isc_hi)),
+      base_hi);
+  if (g.relu) {
+    const __m256 zero = _mm256_setzero_ps();
+    v0 = _mm256_max_ps(v0, zero);
+    v1 = _mm256_max_ps(v1, zero);
+  }
+  float* out = g.out + i * kPanelCols;
+  _mm256_storeu_ps(out, v0);
+  _mm256_storeu_ps(out + 8, v1);
+}
+
+/// MR x 16 integer tile: per 4-row block, 2 panel loads (8 columns
+/// each), one 4-byte weight-group broadcast per row, then
+/// vpmaddubsw (u8 activations x i8 weights -> i16 pairs, saturation-
+/// free because 2*127*127 < 32768) + vpmaddwd(.., 1) -> exact i32.
+template <int MR>
+BAFFLE_ALWAYS_INLINE void eval_tile_u8(const EvalLayerU8Args& g,
+                                       std::size_t i0, const __m256 off_lo,
+                                       const __m256 off_hi,
+                                       const __m256 isc_lo,
+                                       const __m256 isc_hi) {
+  __m256i acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = _mm256_setzero_si256();
+    acc1[r] = _mm256_setzero_si256();
+  }
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  for (std::size_t p4 = 0; p4 < g.k_pad / 4; ++p4) {
+    const std::uint8_t* blk = g.in + p4 * 4 * kPanelCols;
+    const __m256i q_lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(blk));
+    const __m256i q_hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(blk + 32));
+    for (int r = 0; r < MR; ++r) {
+      std::int32_t wgrp;
+      std::memcpy(&wgrp, g.wq + (i0 + r) * g.k_pad + p4 * 4,
+                  sizeof(wgrp));
+      const __m256i wv = _mm256_set1_epi32(wgrp);
+      acc0[r] = _mm256_add_epi32(
+          acc0[r],
+          _mm256_madd_epi16(_mm256_maddubs_epi16(q_lo, wv), ones16));
+      acc1[r] = _mm256_add_epi32(
+          acc1[r],
+          _mm256_madd_epi16(_mm256_maddubs_epi16(q_hi, wv), ones16));
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    dequant_store_row(g, i0 + r, acc0[r], acc1[r], off_lo, off_hi, isc_lo,
+                      isc_hi);
+  }
+}
+
+void eval_layer_u8(const EvalLayerU8Args& g) {
+  const __m256 off_lo = _mm256_loadu_ps(g.in_offset);
+  const __m256 off_hi = _mm256_loadu_ps(g.in_offset + 8);
+  const __m256 isc_lo = _mm256_loadu_ps(g.in_scale);
+  const __m256 isc_hi = _mm256_loadu_ps(g.in_scale + 8);
+  std::size_t i = 0;
+  for (; i + 4 <= g.n_out; i += 4) {
+    eval_tile_u8<4>(g, i, off_lo, off_hi, isc_lo, isc_hi);
+  }
+  switch (g.n_out - i) {
+    case 3: eval_tile_u8<3>(g, i, off_lo, off_hi, isc_lo, isc_hi); break;
+    case 2: eval_tile_u8<2>(g, i, off_lo, off_hi, isc_lo, isc_hi); break;
+    case 1: eval_tile_u8<1>(g, i, off_lo, off_hi, isc_lo, isc_hi); break;
+    default: break;
+  }
+}
+
+#if defined(BAFFLE_HAVE_AVXVNNI_TARGET)
+
+// AVX-VNNI fast path: vpdpbusd fuses the maddubs/maddwd/add chain into
+// ONE instruction per 32 MACs. It widens the four u8*i8 pair products
+// to i32 before summing into the accumulator (no intermediate i16
+// saturation), so in our saturation-free [0,127]x[-127,127] range the
+// i32 accumulators are bit-identical to the maddubs chain — the runtime
+// selection below can never change results, only speed. These functions
+// carry their own target attribute (the TU itself stays plain AVX2+FMA
+// so nothing VNNI can leak into the other kernels), and the install
+// gate checks __builtin_cpu_supports before wiring them in.
+
+#define BAFFLE_TARGET_AVXVNNI __attribute__((target("avx2,fma,avxvnni")))
+
+template <int MR>
+BAFFLE_TARGET_AVXVNNI BAFFLE_ALWAYS_INLINE void eval_tile_u8_vnni(
+    const EvalLayerU8Args& g, std::size_t i0, const __m256 off_lo,
+    const __m256 off_hi, const __m256 isc_lo, const __m256 isc_hi) {
+  __m256i acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = _mm256_setzero_si256();
+    acc1[r] = _mm256_setzero_si256();
+  }
+  for (std::size_t p4 = 0; p4 < g.k_pad / 4; ++p4) {
+    const std::uint8_t* blk = g.in + p4 * 4 * kPanelCols;
+    const __m256i q_lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(blk));
+    const __m256i q_hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(blk + 32));
+    for (int r = 0; r < MR; ++r) {
+      std::int32_t wgrp;
+      std::memcpy(&wgrp, g.wq + (i0 + r) * g.k_pad + p4 * 4,
+                  sizeof(wgrp));
+      const __m256i wv = _mm256_set1_epi32(wgrp);
+      acc0[r] = _mm256_dpbusd_avx_epi32(acc0[r], q_lo, wv);
+      acc1[r] = _mm256_dpbusd_avx_epi32(acc1[r], q_hi, wv);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    dequant_store_row(g, i0 + r, acc0[r], acc1[r], off_lo, off_hi, isc_lo,
+                      isc_hi);
+  }
+}
+
+BAFFLE_TARGET_AVXVNNI void eval_layer_u8_vnni(const EvalLayerU8Args& g) {
+  const __m256 off_lo = _mm256_loadu_ps(g.in_offset);
+  const __m256 off_hi = _mm256_loadu_ps(g.in_offset + 8);
+  const __m256 isc_lo = _mm256_loadu_ps(g.in_scale);
+  const __m256 isc_hi = _mm256_loadu_ps(g.in_scale + 8);
+  std::size_t i = 0;
+  for (; i + 6 <= g.n_out; i += 6) {
+    eval_tile_u8_vnni<6>(g, i, off_lo, off_hi, isc_lo, isc_hi);
+  }
+  switch (g.n_out - i) {
+    case 5: eval_tile_u8_vnni<5>(g, i, off_lo, off_hi, isc_lo, isc_hi); break;
+    case 4: eval_tile_u8_vnni<4>(g, i, off_lo, off_hi, isc_lo, isc_hi); break;
+    case 3: eval_tile_u8_vnni<3>(g, i, off_lo, off_hi, isc_lo, isc_hi); break;
+    case 2: eval_tile_u8_vnni<2>(g, i, off_lo, off_hi, isc_lo, isc_hi); break;
+    case 1: eval_tile_u8_vnni<1>(g, i, off_lo, off_hi, isc_lo, isc_hi); break;
+    default: break;
+  }
+}
+
+#endif  // BAFFLE_HAVE_AVXVNNI_TARGET
+
+#if defined(BAFFLE_HAVE_AVX512VNNI_TARGET)
+
+// GCC's AVX-512 headers implement _mm512_undefined_ps() as a
+// self-initialized local, which -Wmaybe-uninitialized flags through
+// _mm512_cvtepi32_ps at -O3 -g. Nothing here reads uninitialized data
+// (every accumulator is zeroed explicitly), so silence the header
+// false positive for this section only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+
+// AVX-512 VNNI fast path: a panel's 4-row k-block (4 x kPanelCols u8 =
+// 64 bytes) is exactly ONE zmm load, so vpdpbusd covers all 16 columns
+// per instruction instead of two 8-column halves — half the shuffle
+// and accumulate work of the 256-bit path, and the dequantization
+// epilogue writes each 16-float output row as a single register.
+// Exactness: i32 accumulation is associative (lane count cannot change
+// the sum), and the epilogue applies the identical per-lane operation
+// sequence as the 256-bit/scalar arms, so this path is bit-identical
+// to both — runtime selection can only change speed, never results.
+
+#define BAFFLE_TARGET_AVX512VNNI \
+  __attribute__((target("avx512f,avx512bw,avx512vnni")))
+
+template <int MR>
+BAFFLE_TARGET_AVX512VNNI BAFFLE_ALWAYS_INLINE void eval_tile_u8_vnni512(
+    const EvalLayerU8Args& g, std::size_t i0, const __m512 off,
+    const __m512 isc) {
+  __m512i acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = _mm512_setzero_si512();
+  for (std::size_t p4 = 0; p4 < g.k_pad / 4; ++p4) {
+    const __m512i q = _mm512_loadu_si512(g.in + p4 * 4 * kPanelCols);
+    for (int r = 0; r < MR; ++r) {
+      std::int32_t wgrp;
+      std::memcpy(&wgrp, g.wq + (i0 + r) * g.k_pad + p4 * 4, sizeof(wgrp));
+      acc[r] = _mm512_dpbusd_epi32(acc[r], q, _mm512_set1_epi32(wgrp));
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    const std::size_t i = i0 + r;
+    const float ws = g.w_scale[i];
+    const float wsr = ws * static_cast<float>(g.w_rowsum[i]);
+    const __m512 base = _mm512_add_ps(_mm512_mul_ps(off, _mm512_set1_ps(wsr)),
+                                      _mm512_set1_ps(g.bias[i]));
+    __m512 v = _mm512_add_ps(
+        _mm512_mul_ps(_mm512_cvtepi32_ps(acc[r]),
+                      _mm512_mul_ps(_mm512_set1_ps(ws), isc)),
+        base);
+    if (g.relu) v = _mm512_max_ps(v, _mm512_setzero_ps());
+    _mm512_storeu_ps(g.out + i * kPanelCols, v);
+  }
+}
+
+BAFFLE_TARGET_AVX512VNNI void eval_layer_u8_vnni512(const EvalLayerU8Args& g) {
+  const __m512 off = _mm512_loadu_ps(g.in_offset);
+  const __m512 isc = _mm512_loadu_ps(g.in_scale);
+  std::size_t i = 0;
+  for (; i + 8 <= g.n_out; i += 8) eval_tile_u8_vnni512<8>(g, i, off, isc);
+  for (; i + 4 <= g.n_out; i += 4) eval_tile_u8_vnni512<4>(g, i, off, isc);
+  switch (g.n_out - i) {
+    case 3: eval_tile_u8_vnni512<3>(g, i, off, isc); break;
+    case 2: eval_tile_u8_vnni512<2>(g, i, off, isc); break;
+    case 1: eval_tile_u8_vnni512<1>(g, i, off, isc); break;
+    default: break;
+  }
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // BAFFLE_HAVE_AVX512VNNI_TARGET
+
+}  // namespace
+
+namespace detail {
+
+void install_reduced_precision_avx2(KernelTable& t) {
+  t.eval_layer_bf16 = eval_layer_bf16;
+#if defined(BAFFLE_HAVE_AVXVNNI_TARGET)
+  t.eval_layer_u8 = __builtin_cpu_supports("avxvnni") ? eval_layer_u8_vnni
+                                                      : eval_layer_u8;
+#else
+  t.eval_layer_u8 = eval_layer_u8;
+#endif
+#if defined(BAFFLE_HAVE_AVX512VNNI_TARGET)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vnni")) {
+    t.eval_layer_u8 = eval_layer_u8_vnni512;
+  }
+#endif
+  t.quantize_panel_u8 = quantize_panel_u8;
+  t.convert_f32_bf16 = convert_f32_bf16;
+  t.convert_bf16_f32 = convert_bf16_f32;
+}
+
+}  // namespace detail
+}  // namespace baffle::kernels
+
+#else  // reduced-precision vector arm not compiled in
+
+namespace baffle::kernels::detail {
+// Leaves the scalar reduced-precision entries in place.
+void install_reduced_precision_avx2(KernelTable&) {}
+}  // namespace baffle::kernels::detail
+
+#endif

@@ -20,6 +20,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#if defined(BAFFLE_HAVE_AVX512F_TARGET)
+#include <immintrin.h>  // zmm fp32 layer kernel (vector-ext types elsewhere)
+#endif
 
 namespace baffle::kernels {
 namespace {
@@ -114,22 +119,32 @@ void gemm_packed_rows(const PackedGemmArgs& g, std::size_t r0,
   }
 }
 
-// The double-widening reductions are unrolled 2x (16 floats, four
-// independent f64x4 chains per iteration): with only two chains the
-// loop is bound by FMA latency, not throughput.
+// The double-widening reductions are unrolled 4x (32 floats, eight
+// independent f64x4 chains per iteration): the loop is bound by FMA
+// latency (~4-5 cycles on 2 ports), so it takes 8+ in-flight chains to
+// reach multiply-add throughput. Two chains measured 1.28x/1.58x over
+// scalar for dot/distance; eight chains roughly double that.
 
 double dot(const float* a, const float* b, std::size_t n) {
-  f64x4 lo0{}, hi0{}, lo1{}, hi1{};
+  f64x4 lo0{}, hi0{}, lo1{}, hi1{}, lo2{}, hi2{}, lo3{}, hi3{};
   std::size_t i = 0;
-  for (; i + 2 * kFloatLanes <= n; i += 2 * kFloatLanes) {
+  for (; i + 4 * kFloatLanes <= n; i += 4 * kFloatLanes) {
     const f32x8 a0 = loadu8(a + i);
     const f32x8 b0 = loadu8(b + i);
     const f32x8 a1 = loadu8(a + i + kFloatLanes);
     const f32x8 b1 = loadu8(b + i + kFloatLanes);
+    const f32x8 a2 = loadu8(a + i + 2 * kFloatLanes);
+    const f32x8 b2 = loadu8(b + i + 2 * kFloatLanes);
+    const f32x8 a3 = loadu8(a + i + 3 * kFloatLanes);
+    const f32x8 b3 = loadu8(b + i + 3 * kFloatLanes);
     lo0 += widen_lo(a0) * widen_lo(b0);
     hi0 += widen_hi(a0) * widen_hi(b0);
     lo1 += widen_lo(a1) * widen_lo(b1);
     hi1 += widen_hi(a1) * widen_hi(b1);
+    lo2 += widen_lo(a2) * widen_lo(b2);
+    hi2 += widen_hi(a2) * widen_hi(b2);
+    lo3 += widen_lo(a3) * widen_lo(b3);
+    hi3 += widen_hi(a3) * widen_hi(b3);
   }
   for (; i + kFloatLanes <= n; i += kFloatLanes) {
     const f32x8 av = loadu8(a + i);
@@ -137,7 +152,8 @@ double dot(const float* a, const float* b, std::size_t n) {
     lo0 += widen_lo(av) * widen_lo(bv);
     hi0 += widen_hi(av) * widen_hi(bv);
   }
-  double acc = hsum4((lo0 + lo1) + (hi0 + hi1));
+  double acc =
+      hsum4(((lo0 + lo1) + (lo2 + lo3)) + ((hi0 + hi1) + (hi2 + hi3)));
   for (; i < n; ++i) {
     acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
   }
@@ -145,17 +161,25 @@ double dot(const float* a, const float* b, std::size_t n) {
 }
 
 double squared_l2(const float* x, std::size_t n) {
-  f64x4 lo0{}, hi0{}, lo1{}, hi1{};
+  f64x4 lo0{}, hi0{}, lo1{}, hi1{}, lo2{}, hi2{}, lo3{}, hi3{};
   std::size_t i = 0;
-  for (; i + 2 * kFloatLanes <= n; i += 2 * kFloatLanes) {
+  for (; i + 4 * kFloatLanes <= n; i += 4 * kFloatLanes) {
     const f32x8 v0 = loadu8(x + i);
     const f32x8 v1 = loadu8(x + i + kFloatLanes);
+    const f32x8 v2 = loadu8(x + i + 2 * kFloatLanes);
+    const f32x8 v3 = loadu8(x + i + 3 * kFloatLanes);
     const f64x4 dl0 = widen_lo(v0), dh0 = widen_hi(v0);
     const f64x4 dl1 = widen_lo(v1), dh1 = widen_hi(v1);
+    const f64x4 dl2 = widen_lo(v2), dh2 = widen_hi(v2);
+    const f64x4 dl3 = widen_lo(v3), dh3 = widen_hi(v3);
     lo0 += dl0 * dl0;
     hi0 += dh0 * dh0;
     lo1 += dl1 * dl1;
     hi1 += dh1 * dh1;
+    lo2 += dl2 * dl2;
+    hi2 += dh2 * dh2;
+    lo3 += dl3 * dl3;
+    hi3 += dh3 * dh3;
   }
   for (; i + kFloatLanes <= n; i += kFloatLanes) {
     const f32x8 v = loadu8(x + i);
@@ -163,7 +187,8 @@ double squared_l2(const float* x, std::size_t n) {
     lo0 += dl * dl;
     hi0 += dh * dh;
   }
-  double acc = hsum4((lo0 + lo1) + (hi0 + hi1));
+  double acc =
+      hsum4(((lo0 + lo1) + (lo2 + lo3)) + ((hi0 + hi1) + (hi2 + hi3)));
   for (; i < n; ++i) {
     acc += static_cast<double>(x[i]) * static_cast<double>(x[i]);
   }
@@ -171,21 +196,33 @@ double squared_l2(const float* x, std::size_t n) {
 }
 
 double squared_l2_distance(const float* a, const float* b, std::size_t n) {
-  f64x4 lo0{}, hi0{}, lo1{}, hi1{};
+  f64x4 lo0{}, hi0{}, lo1{}, hi1{}, lo2{}, hi2{}, lo3{}, hi3{};
   std::size_t i = 0;
-  for (; i + 2 * kFloatLanes <= n; i += 2 * kFloatLanes) {
+  for (; i + 4 * kFloatLanes <= n; i += 4 * kFloatLanes) {
     const f32x8 a0 = loadu8(a + i);
     const f32x8 b0 = loadu8(b + i);
     const f32x8 a1 = loadu8(a + i + kFloatLanes);
     const f32x8 b1 = loadu8(b + i + kFloatLanes);
+    const f32x8 a2 = loadu8(a + i + 2 * kFloatLanes);
+    const f32x8 b2 = loadu8(b + i + 2 * kFloatLanes);
+    const f32x8 a3 = loadu8(a + i + 3 * kFloatLanes);
+    const f32x8 b3 = loadu8(b + i + 3 * kFloatLanes);
     const f64x4 dl0 = widen_lo(a0) - widen_lo(b0);
     const f64x4 dh0 = widen_hi(a0) - widen_hi(b0);
     const f64x4 dl1 = widen_lo(a1) - widen_lo(b1);
     const f64x4 dh1 = widen_hi(a1) - widen_hi(b1);
+    const f64x4 dl2 = widen_lo(a2) - widen_lo(b2);
+    const f64x4 dh2 = widen_hi(a2) - widen_hi(b2);
+    const f64x4 dl3 = widen_lo(a3) - widen_lo(b3);
+    const f64x4 dh3 = widen_hi(a3) - widen_hi(b3);
     lo0 += dl0 * dl0;
     hi0 += dh0 * dh0;
     lo1 += dl1 * dl1;
     hi1 += dh1 * dh1;
+    lo2 += dl2 * dl2;
+    hi2 += dh2 * dh2;
+    lo3 += dl3 * dl3;
+    hi3 += dh3 * dh3;
   }
   for (; i + kFloatLanes <= n; i += kFloatLanes) {
     const f32x8 av = loadu8(a + i);
@@ -195,7 +232,8 @@ double squared_l2_distance(const float* a, const float* b, std::size_t n) {
     lo0 += dl * dl;
     hi0 += dh * dh;
   }
-  double acc = hsum4((lo0 + lo1) + (hi0 + hi1));
+  double acc =
+      hsum4(((lo0 + lo1) + (lo2 + lo3)) + ((hi0 + hi1) + (hi2 + hi3)));
   for (; i < n; ++i) {
     const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
     acc += d * d;
@@ -359,6 +397,163 @@ double sum_sq_diff_d(const double* x, double center, std::size_t n) {
   return s;
 }
 
+// ---- Batched multi-model evaluation (DESIGN.md §14) ----
+
+BAFFLE_ALWAYS_INLINE f32x8 vmin8(f32x8 a, f32x8 b) {
+  const i32x8 m = a < b;  // all-ones where a < b
+  return __builtin_bit_cast(f32x8, (__builtin_bit_cast(i32x8, a) & m) |
+                                       (__builtin_bit_cast(i32x8, b) & ~m));
+}
+
+/// Fused-layer variant of micro_tile: same accumulation (per-p FMA into
+/// zero-initialized registers, so bit-identical to gemm_packed_rows),
+/// but with the bias add and optional ReLU applied while the tile is
+/// still in registers, and the output written panel-packed. The bias
+/// add matches the sequential path's add_row_bias (axpy alpha=1: a
+/// single correctly-rounded add), and vrelu8 matches relu_forward.
+template <int MR>
+BAFFLE_ALWAYS_INLINE void eval_tile_f32(const EvalLayerArgs& g,
+                                        std::size_t i0) {
+  f32x8 acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = f32x8{};
+    acc1[r] = f32x8{};
+  }
+  const float* a0 = g.a + i0 * g.a_row_stride;
+  for (std::size_t p = 0; p < g.k; ++p) {
+    const f32x8 b0 = loada8(g.in + p * kPanelCols);
+    const f32x8 b1 = loada8(g.in + p * kPanelCols + kFloatLanes);
+    const float* ap = a0 + p * g.a_p_stride;
+    for (int r = 0; r < MR; ++r) {
+      const f32x8 av = splat8(ap[r * g.a_row_stride]);
+      acc0[r] += av * b0;  // contracts to FMA under -ffp-contract=fast
+      acc1[r] += av * b1;
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    const f32x8 bv = splat8(g.bias[i0 + r]);
+    f32x8 v0 = acc0[r] + bv;
+    f32x8 v1 = acc1[r] + bv;
+    if (g.relu) {
+      v0 = vrelu8(v0);
+      v1 = vrelu8(v1);
+    }
+    float* out = g.out + (i0 + r) * kPanelCols;
+    storeu8(out, v0);
+    storeu8(out + kFloatLanes, v1);
+  }
+}
+
+void eval_layer_f32(const EvalLayerArgs& g) {
+  std::size_t i = 0;
+  for (; i + 6 <= g.n_out; i += 6) eval_tile_f32<6>(g, i);
+  switch (g.n_out - i) {
+    case 5: eval_tile_f32<5>(g, i); break;
+    case 4: eval_tile_f32<4>(g, i); break;
+    case 3: eval_tile_f32<3>(g, i); break;
+    case 2: eval_tile_f32<2>(g, i); break;
+    case 1: eval_tile_f32<1>(g, i); break;
+    default: break;
+  }
+}
+
+#if defined(BAFFLE_HAVE_AVX512F_TARGET)
+
+// AVX-512 fused-layer variant: one zmm covers the full 16-column panel
+// row, so each output row needs ONE accumulator and ONE panel load per
+// k step instead of two — half the issue slots of the ymm tile.
+// BIT-IDENTICAL by construction: every output element is an
+// independent lane computing fma(a_p, in[p][c], acc) in the same p
+// order from a zero accumulator, one post-sum bias add, and vrelu's
+// exact `x < 0 ? 0 : x` semantics (the NLT mask keeps NaN/+0/-0 lanes
+// like the scalar code) — lane width cannot change any per-element
+// result, so runtime selection only changes speed.
+
+#define BAFFLE_TARGET_AVX512F __attribute__((target("avx512f")))
+
+template <int MR>
+BAFFLE_TARGET_AVX512F BAFFLE_ALWAYS_INLINE void eval_tile_f32_zmm(
+    const EvalLayerArgs& g, std::size_t i0) {
+  __m512 acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = _mm512_setzero_ps();
+  const float* a0 = g.a + i0 * g.a_row_stride;
+  for (std::size_t p = 0; p < g.k; ++p) {
+    const __m512 b = _mm512_loadu_ps(g.in + p * kPanelCols);
+    const float* ap = a0 + p * g.a_p_stride;
+    for (int r = 0; r < MR; ++r) {
+      acc[r] =
+          _mm512_fmadd_ps(_mm512_set1_ps(ap[r * g.a_row_stride]), b, acc[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    __m512 v = _mm512_add_ps(acc[r], _mm512_set1_ps(g.bias[i0 + r]));
+    if (g.relu) {
+      const __mmask16 keep =
+          _mm512_cmp_ps_mask(v, _mm512_setzero_ps(), _CMP_NLT_US);
+      v = _mm512_maskz_mov_ps(keep, v);
+    }
+    _mm512_storeu_ps(g.out + (i0 + r) * kPanelCols, v);
+  }
+}
+
+BAFFLE_TARGET_AVX512F void eval_layer_f32_zmm(const EvalLayerArgs& g) {
+  std::size_t i = 0;
+  for (; i + 8 <= g.n_out; i += 8) eval_tile_f32_zmm<8>(g, i);
+  for (; i + 4 <= g.n_out; i += 4) eval_tile_f32_zmm<4>(g, i);
+  switch (g.n_out - i) {
+    case 3: eval_tile_f32_zmm<3>(g, i); break;
+    case 2: eval_tile_f32_zmm<2>(g, i); break;
+    case 1: eval_tile_f32_zmm<1>(g, i); break;
+    default: break;
+  }
+}
+
+#endif  // BAFFLE_HAVE_AVX512F_TARGET
+
+/// Column argmax + top-2 margin over a packed panel, 16 lanes at once.
+/// The strict > mask keeps the first maximum (matching the scalar arm
+/// and argmax_rows_into), and `second = max(second, min(x, best))` is
+/// the branch-free form of the scalar top-2 update: every lane op is an
+/// exact copy/compare, so preds and margins are bit-identical across
+/// arms for finite logits.
+void argmax_margin_panel(const ArgmaxMarginArgs& g) {
+  f32x8 best0 = loada8(g.in);
+  f32x8 best1 = loada8(g.in + kFloatLanes);
+  const f32x8 ninf = splat8(-std::numeric_limits<float>::infinity());
+  f32x8 sec0 = ninf, sec1 = ninf;
+  i32x8 idx0{}, idx1{};
+  for (std::size_t i = 1; i < g.n_rows; ++i) {
+    const f32x8 x0 = loada8(g.in + i * kPanelCols);
+    const f32x8 x1 = loada8(g.in + i * kPanelCols + kFloatLanes);
+    const i32x8 m0 = x0 > best0;
+    const i32x8 m1 = x1 > best1;
+    sec0 = vmax8(sec0, vmin8(x0, best0));
+    sec1 = vmax8(sec1, vmin8(x1, best1));
+    best0 = __builtin_bit_cast(
+        f32x8, (__builtin_bit_cast(i32x8, x0) & m0) |
+                   (__builtin_bit_cast(i32x8, best0) & ~m0));
+    best1 = __builtin_bit_cast(
+        f32x8, (__builtin_bit_cast(i32x8, x1) & m1) |
+                   (__builtin_bit_cast(i32x8, best1) & ~m1));
+    const i32x8 iv = i32x8{} + static_cast<std::int32_t>(i);
+    idx0 = (iv & m0) | (idx0 & ~m0);
+    idx1 = (iv & m1) | (idx1 & ~m1);
+  }
+  alignas(32) float bests[kPanelCols];
+  alignas(32) float seconds[kPanelCols];
+  alignas(32) std::int32_t idxs[kPanelCols];
+  *reinterpret_cast<f32x8*>(bests) = best0;
+  *reinterpret_cast<f32x8*>(bests + kFloatLanes) = best1;
+  *reinterpret_cast<f32x8*>(seconds) = sec0;
+  *reinterpret_cast<f32x8*>(seconds + kFloatLanes) = sec1;
+  *reinterpret_cast<i32x8*>(idxs) = idx0;
+  *reinterpret_cast<i32x8*>(idxs + kFloatLanes) = idx1;
+  for (std::size_t c = 0; c < g.cols; ++c) {
+    g.preds[c] = static_cast<std::size_t>(idxs[c]);
+    if (g.margins != nullptr) g.margins[c] = bests[c] - seconds[c];
+  }
+}
+
 KernelTable make_table() {
   KernelTable t = scalar_table();
   t.name = "avx2";
@@ -383,6 +578,16 @@ KernelTable make_table() {
   t.add_u64 = add_u64;
   t.sum_d = sum_d;
   t.sum_sq_diff_d = sum_sq_diff_d;
+  t.eval_layer_f32 = eval_layer_f32;
+#if defined(BAFFLE_HAVE_AVX512F_TARGET)
+  if (__builtin_cpu_supports("avx512f")) {
+    t.eval_layer_f32 = eval_layer_f32_zmm;
+  }
+#endif
+  t.argmax_margin_panel = argmax_margin_panel;
+  // eval_layer_bf16 / eval_layer_u8 / quantize_panel_u8 / convert_*
+  // overrides live in kernels_bf16.cpp (intrinsics TU).
+  detail::install_reduced_precision_avx2(t);
   return t;
 }
 

@@ -1,0 +1,207 @@
+#include "nn/multi_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/synth.hpp"
+#include "nn/mlp.hpp"
+
+namespace baffle {
+namespace {
+
+// Random-walk chain of ℓ models from one seeded init, mimicking the
+// validator's history window.
+std::vector<std::vector<float>> model_chain(const MlpConfig& arch, Rng& rng,
+                                            std::size_t count) {
+  Mlp model(arch);
+  model.init(rng);
+  std::vector<float> params = model.parameters();
+  std::vector<std::vector<float>> chain;
+  for (std::size_t v = 0; v < count; ++v) {
+    for (float& p : params) p += static_cast<float>(rng.normal(0.0, 0.05));
+    chain.push_back(params);
+  }
+  return chain;
+}
+
+Matrix features_matrix(std::size_t test_per_class, std::size_t dim,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  SynthTaskConfig cfg = synth_vision10_config();
+  cfg.train_per_class = 1;
+  cfg.test_per_class = test_per_class;
+  cfg.dim = dim;
+  SynthTask task = make_synth_task(cfg, rng);
+  return task.test.features();
+}
+
+std::vector<std::size_t> sequential_preds(const MlpConfig& arch,
+                                          const std::vector<float>& params,
+                                          const Matrix& x) {
+  Mlp model(arch);
+  model.set_parameters(params);
+  MlpEvalWorkspace ws;
+  std::vector<std::size_t> preds(x.rows());
+  model.predict_into(x, preds, ws);
+  return preds;
+}
+
+TEST(MultiModelEval, Fp32BitParityWithSequentialPath) {
+  const MlpConfig arch{{32, 24, 10}, Activation::kRelu};
+  Rng rng(7);
+  const auto chain = model_chain(arch, rng, 5);
+  // 330 samples: 20 full panels plus a 10-column tail panel.
+  const Matrix x = features_matrix(33, 32, 11);
+  MultiModelEval engine(arch);
+  engine.bind(x);
+  ASSERT_EQ(engine.bound_samples(), x.rows());
+
+  MlpEvalWorkspace ws;
+  std::vector<std::size_t> batched(x.rows());
+  for (const auto& params : chain) {
+    engine.predict_into(params, batched, ws);
+    EXPECT_EQ(batched, sequential_preds(arch, params, x));
+  }
+}
+
+TEST(MultiModelEval, Fp32ParityMultiLayerTanh) {
+  const MlpConfig arch{{16, 12, 14, 6}, Activation::kTanh};
+  Rng rng(9);
+  const auto chain = model_chain(arch, rng, 3);
+  const Matrix x = features_matrix(20, 16, 13);
+  MultiModelEval engine(arch);
+  engine.bind(x);
+
+  MlpEvalWorkspace ws;
+  std::vector<std::size_t> batched(x.rows());
+  for (const auto& params : chain) {
+    engine.predict_into(params, batched, ws);
+    EXPECT_EQ(batched, sequential_preds(arch, params, x));
+  }
+}
+
+TEST(MultiModelEval, SingleSampleAndSingleRowPanels) {
+  const MlpConfig arch{{8, 6, 4}, Activation::kRelu};
+  Rng rng(21);
+  const auto chain = model_chain(arch, rng, 2);
+  Rng data_rng(22);
+  Matrix x(1, 8);
+  for (float& v : x.flat()) v = static_cast<float>(data_rng.normal(0.0, 1.0));
+
+  MultiModelEval engine(arch);
+  engine.bind(x);
+  MlpEvalWorkspace ws;
+  std::vector<std::size_t> batched(1);
+  for (const auto& params : chain) {
+    engine.predict_into(params, batched, ws);
+    EXPECT_EQ(batched, sequential_preds(arch, params, x));
+  }
+}
+
+TEST(MultiModelEval, PredictManySpansModelChunks) {
+  const MlpConfig arch{{12, 10, 5}, Activation::kRelu};
+  Rng rng(31);
+  // More models than kModelChunk, so the chunked panel-outer loop runs
+  // at least twice.
+  const std::size_t count = MultiModelEval::kModelChunk + 5;
+  const auto chain = model_chain(arch, rng, count);
+  Rng data_rng(32);
+  Matrix x(50, 12);
+  for (float& v : x.flat()) v = static_cast<float>(data_rng.normal(0.0, 1.0));
+
+  MultiModelEval engine(arch);
+  engine.bind(x);
+  std::vector<std::vector<std::size_t>> preds(
+      count, std::vector<std::size_t>(x.rows()));
+  std::vector<MultiEvalModel> models;
+  for (std::size_t v = 0; v < count; ++v) {
+    models.push_back({chain[v], preds[v]});
+  }
+  MlpEvalWorkspace ws;
+  engine.predict_many(models, ws);
+  for (std::size_t v = 0; v < count; ++v) {
+    EXPECT_EQ(preds[v], sequential_preds(arch, chain[v], x));
+  }
+}
+
+TEST(MultiModelEval, RebindReplacesDataset) {
+  const MlpConfig arch{{10, 8, 3}, Activation::kRelu};
+  Rng rng(41);
+  const auto chain = model_chain(arch, rng, 1);
+  Rng data_rng(42);
+  Matrix x1(30, 10), x2(17, 10);
+  for (float& v : x1.flat()) v = static_cast<float>(data_rng.normal(0.0, 1.0));
+  for (float& v : x2.flat()) v = static_cast<float>(data_rng.normal(0.0, 1.0));
+
+  MultiModelEval engine(arch);
+  MlpEvalWorkspace ws;
+  engine.bind(x1);
+  std::vector<std::size_t> preds1(x1.rows());
+  engine.predict_into(chain[0], preds1, ws);
+  EXPECT_EQ(preds1, sequential_preds(arch, chain[0], x1));
+
+  engine.bind(x2);
+  EXPECT_EQ(engine.bound_samples(), 17u);
+  std::vector<std::size_t> preds2(x2.rows());
+  engine.predict_into(chain[0], preds2, ws);
+  EXPECT_EQ(preds2, sequential_preds(arch, chain[0], x2));
+}
+
+// The reduced-precision arms must keep the argmaxes (and therefore
+// confusion matrices and votes) identical to fp32 on the bench-style
+// scenarios: any sample whose reduced-precision margin is below the
+// guard threshold is re-decided by the fp32 path, and the guard margins
+// are calibrated with >2x headroom over the worst observed flip.
+class MultiModelEvalReducedPrecision
+    : public ::testing::TestWithParam<EvalPrecision> {};
+
+TEST_P(MultiModelEvalReducedPrecision, ArgmaxStableOnSeededScenario) {
+  const MlpConfig arch{{32, 64, 10}, Activation::kRelu};
+  Rng rng(404);
+  const auto chain = model_chain(arch, rng, 8);
+  const Matrix x = features_matrix(60, 32, 404);
+
+  MultiModelEval engine(arch);
+  engine.bind(x);
+  MlpEvalWorkspace ws;
+  std::vector<std::size_t> fp32(x.rows()), reduced(x.rows());
+  for (const auto& params : chain) {
+    ws.precision = EvalPrecision::kFp32;
+    engine.predict_into(params, fp32, ws);
+    ws.precision = GetParam();
+    engine.predict_into(params, reduced, ws);
+    EXPECT_EQ(reduced, fp32);
+  }
+}
+
+TEST_P(MultiModelEvalReducedPrecision, ArgmaxStableMultiLayerTanh) {
+  const MlpConfig arch{{16, 24, 20, 8}, Activation::kTanh};
+  Rng rng(77);
+  const auto chain = model_chain(arch, rng, 4);
+  const Matrix x = features_matrix(40, 16, 78);
+
+  MultiModelEval engine(arch);
+  engine.bind(x);
+  MlpEvalWorkspace ws;
+  std::vector<std::size_t> fp32(x.rows()), reduced(x.rows());
+  for (const auto& params : chain) {
+    ws.precision = EvalPrecision::kFp32;
+    engine.predict_into(params, fp32, ws);
+    ws.precision = GetParam();
+    engine.predict_into(params, reduced, ws);
+    EXPECT_EQ(reduced, fp32);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arms, MultiModelEvalReducedPrecision,
+                         ::testing::Values(EvalPrecision::kBf16,
+                                           EvalPrecision::kInt8),
+                         [](const auto& info) {
+                           return info.param == EvalPrecision::kBf16
+                                      ? "bf16"
+                                      : "int8";
+                         });
+
+}  // namespace
+}  // namespace baffle

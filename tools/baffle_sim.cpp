@@ -70,6 +70,9 @@ void print_help() {
       "  --no-defense=1             disable the feedback loop\n"
       "  --separate-validators=0|1  independent validating set (0)\n"
       "  --validator-dropout=F      non-response probability (0)\n"
+      "  --eval-precision=fp32|bf16|int8  validator evaluation arm\n"
+      "                             (fp32; reduced arms are guarded,\n"
+      "                             CM-identical — DESIGN.md \u00a714)\n"
       "attack:\n"
       "  --attack=replacement|dba|none   (replacement)\n"
       "  --adaptive=0|1             defense-aware attacker (0)\n"
@@ -158,6 +161,15 @@ int main(int argc, char** argv) {
   cfg.defense_enabled = !flags.flag("no-defense", false);
   cfg.separate_validators = flags.flag("separate-validators", false);
   cfg.validator_dropout = flags.num("validator-dropout", 0.0);
+  const std::string prec = flags.str("eval-precision", "fp32");
+  if (prec == "bf16") {
+    cfg.feedback.validator.eval_precision = EvalPrecision::kBf16;
+  } else if (prec == "int8") {
+    cfg.feedback.validator.eval_precision = EvalPrecision::kInt8;
+  } else if (prec != "fp32") {
+    std::fprintf(stderr, "unknown --eval-precision: %s\n", prec.c_str());
+    return 2;
+  }
 
   const std::string attack = flags.str("attack", "replacement");
   cfg.schedule = AttackSchedule::stable_scenario();

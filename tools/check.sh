@@ -112,8 +112,20 @@ run_bench_smoke() {
     (cd build-strict && ./bench/defense_bench --smoke)
 }
 
+run_multieval_smoke() {
+  # Exits nonzero when the batched engine's fp32 predictions are not
+  # byte-identical to sequential Mlp::predict_into, or when a
+  # reduced-precision arm's confusion matrices diverge from fp32. Smoke
+  # mode skips the ≥2x int8 speedup gate (timing on shared CI hosts is
+  # too noisy to assert).
+  cmake --build build-strict -j "$JOBS" --target multieval_bench &&
+    (cd build-strict && ./bench/multieval_bench --smoke)
+}
+
 if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
   stage "defense bench smoke (incremental parity)" run_bench_smoke
+  stage "multieval bench smoke (batched/reduced-precision parity)" \
+    run_multieval_smoke
 fi
 
 if [[ "$RUN_CHECKS" -eq 1 ]]; then
