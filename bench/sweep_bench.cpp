@@ -1,0 +1,163 @@
+// BM_Sweep — serial cell loop vs task-graph fan-out over a scenario
+// grid (DESIGN.md §15), plus the bit-identity check that makes the
+// speedup admissible: every per-cell repetition row from the parallel
+// driver must match the serial driver exactly.
+//
+// The grid is lookback{8,12} x quorum{3,5} x alpha{0.3,0.9} = 8 cells,
+// 2 repetitions each — 16 independent experiments whose per-round
+// graphs all nest on the shared pool. Prints both timings and writes
+// BENCH_sweep.json. Thread count follows BAFFLE_THREADS (default:
+// hardware concurrency); run with BAFFLE_THREADS=8 for the acceptance
+// number. The >=2x speedup gate applies only on a multi-core box
+// (>=4 hardware cores and >=4 pool threads) — a single-core container
+// cannot overlap independent cells, so there only bit-identity gates.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace baffle;
+
+SweepSpec bench_spec(bool smoke) {
+  SweepSpec spec;
+  spec.base.scenario = vision_scenario(0.10);
+  spec.base.scenario.num_clients = 40;
+  spec.base.scenario.train_per_class_override = smoke ? 50 : 80;
+  spec.base.rounds = smoke ? 10 : 14;
+  spec.base.defense_start = smoke ? 6 : 8;
+  spec.base.schedule = AttackSchedule::stable_scenario();
+  spec.base.schedule.poison_rounds = smoke ? std::vector<std::size_t>{8}
+                                           : std::vector<std::size_t>{11, 13};
+  spec.reps = 2;
+  spec.base_seed = 7;
+
+  const auto lookback = [](std::size_t v) {
+    return SweepValue{std::to_string(v), [v](ExperimentConfig& c) {
+                        c.feedback.validator.lookback = v;
+                      }};
+  };
+  const auto quorum = [](std::size_t v) {
+    return SweepValue{std::to_string(v),
+                      [v](ExperimentConfig& c) { c.feedback.quorum = v; }};
+  };
+  const auto alpha = [](double v, const char* label) {
+    return SweepValue{label, [v](ExperimentConfig& c) {
+                        c.scenario.dirichlet_alpha = v;
+                      }};
+  };
+  if (smoke) {
+    spec.axes = {{"lookback", {lookback(8)}}, {"q", {quorum(2), quorum(3)}}};
+  } else {
+    spec.axes = {{"lookback", {lookback(8), lookback(12)}},
+                 {"q", {quorum(3), quorum(5)}},
+                 {"alpha", {alpha(0.3, "0.3"), alpha(0.9, "0.9")}}};
+  }
+  return spec;
+}
+
+bool rows_identical(const SweepRepRow& a, const SweepRepRow& b) {
+  return a.seed == b.seed &&
+         std::memcmp(&a.rates, &b.rates, sizeof(a.rates)) == 0 &&
+         std::memcmp(&a.final_main_accuracy, &b.final_main_accuracy,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&a.final_backdoor_accuracy, &b.final_backdoor_accuracy,
+                     sizeof(double)) == 0 &&
+         a.adaptive_skipped == b.adaptive_skipped;
+}
+
+double run_once(const SweepSpec& spec, bool parallel, SweepResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = run_sweep(spec, parallel);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const SweepSpec spec = bench_spec(smoke);
+  std::size_t cells = 1;
+  for (const auto& axis : spec.axes) cells *= axis.values.size();
+  const std::size_t threads = ThreadPool::global().size();
+  const std::size_t cores = std::thread::hardware_concurrency();
+  const std::size_t trials = smoke ? 1 : 3;
+  std::printf("BM_Sweep%s: %zu cells x %zu reps, %zu trials, "
+              "%zu threads (%zu hardware cores)\n",
+              smoke ? " (smoke)" : "", cells, spec.reps, trials, threads,
+              cores);
+
+  std::vector<double> serial_ms, parallel_ms, speedups;
+  bool bit_identical = true;
+  for (std::size_t t = 0; t < trials; ++t) {
+    SweepResult serial, parallel;
+    serial_ms.push_back(run_once(spec, /*parallel=*/false, &serial));
+    parallel_ms.push_back(run_once(spec, /*parallel=*/true, &parallel));
+    speedups.push_back(parallel_ms.back() > 0.0
+                           ? serial_ms.back() / parallel_ms.back()
+                           : 0.0);
+    for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+      for (std::size_t i = 0; i < spec.reps; ++i) {
+        if (!rows_identical(serial.cells[c].reps[i],
+                            parallel.cells[c].reps[i])) {
+          bit_identical = false;
+          std::printf("MISMATCH: cell %zu (%s) rep %zu\n", c,
+                      serial.cells[c].name.c_str(), i);
+        }
+      }
+    }
+    std::printf("  trial %zu: serial %8.1f ms, task-graph %8.1f ms "
+                "(%.2fx)\n",
+                t, serial_ms.back(), parallel_ms.back(), speedups.back());
+  }
+
+  std::sort(speedups.begin(), speedups.end());
+  std::sort(serial_ms.begin(), serial_ms.end());
+  std::sort(parallel_ms.begin(), parallel_ms.end());
+  const double median_speedup = speedups[speedups.size() / 2];
+  const bool multi_core = cores >= 4 && threads >= 4;
+  const bool speedup_ok = !multi_core || median_speedup >= 2.0;
+  std::printf("median speedup: %.2fx   bit-identical: %s%s\n", median_speedup,
+              bit_identical ? "yes" : "NO",
+              multi_core ? "" : "   (single-core box: speedup gate waived)");
+
+  FILE* f = std::fopen("BENCH_sweep.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sweep_bench: cannot write BENCH_sweep.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"name\": \"BM_Sweep\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"cells\": %zu,\n"
+               "  \"reps_per_cell\": %zu,\n"
+               "  \"trials\": %zu,\n"
+               "  \"threads\": %zu,\n"
+               "  \"hardware_cores\": %zu,\n"
+               "  \"serial_ms\": %.1f,\n"
+               "  \"parallel_ms\": %.1f,\n"
+               "  \"median_speedup\": %.3f,\n"
+               "  \"speedup_gate_enforced\": %s,\n"
+               "  \"bit_identical\": %s\n"
+               "}\n",
+               smoke ? "true" : "false", cells, spec.reps, trials, threads,
+               cores, serial_ms[serial_ms.size() / 2],
+               parallel_ms[parallel_ms.size() / 2], median_speedup,
+               multi_core ? "true" : "false", bit_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_sweep.json\n");
+  return bit_identical && speedup_ok ? 0 : 1;
+}

@@ -7,6 +7,8 @@
 #include <exception>
 #include <string>
 
+#include "util/metrics.hpp"
+
 namespace baffle {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -23,8 +25,10 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard lock(mutex_);
     stop_ = true;
+    ++progress_;
   }
   cv_.notify_all();
+  progress_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -34,8 +38,10 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard lock(mutex_);
     queue_.push(std::move(task));
+    ++progress_;
   }
   cv_.notify_one();
+  progress_cv_.notify_all();
   return fut;
 }
 
@@ -70,21 +76,32 @@ void ThreadPool::parallel_for(std::size_t n,
     // Help drain the queue instead of blocking: nested parallel_for
     // calls from pool threads would otherwise deadlock a saturated pool.
     // When the queue is empty but the future is still unfinished (the
-    // tail task runs on another worker), back off on the future itself
-    // instead of busy-spinning: escalate the wait from 50µs to 1ms so
-    // the caller neither burns a core nor adds meaningful latency.
-    auto backoff = std::chrono::microseconds(50);
-    while (f.wait_for(std::chrono::seconds(0)) !=
-           std::future_status::ready) {
-      if (try_run_one()) {
-        backoff = std::chrono::microseconds(50);
-      } else {
-        if (f.wait_for(backoff) == std::future_status::ready) break;
-        backoff = std::min(backoff * 2, std::chrono::microseconds(1000));
+    // tail task runs on another worker), sleep on the pool's progress
+    // condition variable: the tail task's completion wakes the caller
+    // exactly once, with no timed-backoff polling slices. The stamp is
+    // read before the readiness check, so a completion racing with the
+    // check either flips the future to ready or advances the stamp —
+    // never a lost wakeup.
+    for (;;) {
+      const std::uint64_t seen = progress_stamp();
+      if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        break;
       }
+      if (try_run_one()) continue;
+      wait_progress(seen);
     }
   }
   if (error) std::rethrow_exception(error);
+}
+
+std::uint64_t ThreadPool::progress_stamp() const {
+  std::lock_guard lock(mutex_);
+  return progress_;
+}
+
+void ThreadPool::wait_progress(std::uint64_t seen) const {
+  std::unique_lock lock(mutex_);
+  progress_cv_.wait(lock, [&] { return stop_ || progress_ != seen; });
 }
 
 ThreadPool& ThreadPool::global() {
@@ -113,8 +130,18 @@ bool ThreadPool::try_run_one() {
     task = std::move(queue_.front());
     queue_.pop();
   }
+  MetricsRegistry::global().add_counter("thread_pool.help_drained");
   task();
+  bump_progress();
   return true;
+}
+
+void ThreadPool::bump_progress() {
+  {
+    std::lock_guard lock(mutex_);
+    ++progress_;
+  }
+  progress_cv_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
@@ -128,6 +155,7 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     task();
+    bump_progress();
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -42,16 +43,30 @@ class ThreadPool {
   /// Pops and runs one queued task if any; returns whether it did.
   bool try_run_one();
 
+  /// Monotonic stamp bumped whenever the pool makes progress: a task is
+  /// queued or a task finishes. Pair with wait_progress to sleep between
+  /// help-drain attempts instead of polling.
+  std::uint64_t progress_stamp() const;
+
+  /// Blocks until progress_stamp() != seen (a task completed somewhere
+  /// or new work arrived) or the pool is shutting down. Waiters that
+  /// help-drain call this only when the queue is empty, so a completion
+  /// on another worker wakes them exactly once — no timed backoff.
+  void wait_progress(std::uint64_t seen) const;
+
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
  private:
   void worker_loop();
+  void bump_progress();
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
+  mutable std::condition_variable progress_cv_;
+  std::uint64_t progress_ = 0;
   bool stop_ = false;
 };
 

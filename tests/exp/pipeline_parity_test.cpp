@@ -112,5 +112,21 @@ TEST(PipelineParity, RunRepeatedNestsPipelinedRunsInsidePool) {
   }
 }
 
+TEST(PipelineParity, TransportModePipelinedMatchesSerialBitExact) {
+  // Transport mode routes proposals and votes through the wire-protocol
+  // round driver; the graph-scheduled eval nodes must not perturb any
+  // of its decisions or byte accounting.
+  ExperimentConfig cfg = small_config();
+  cfg.rounds = 16;
+  cfg.transport = true;
+  cfg.scenario.pipeline_rounds = true;
+  const auto pipelined = run_experiment(cfg, 37);
+  cfg.scenario.pipeline_rounds = false;
+  const auto serial = run_experiment(cfg, 37);
+  expect_results_identical(pipelined, serial);
+  EXPECT_EQ(pipelined.wire_bytes, serial.wire_bytes);
+  EXPECT_EQ(pipelined.comm.total_bytes(), serial.comm.total_bytes());
+}
+
 }  // namespace
 }  // namespace baffle

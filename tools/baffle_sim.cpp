@@ -274,6 +274,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(overlapped),
                 registry.timer_mean_ms("experiment.round_accuracy"));
   }
+  const std::uint64_t graph_tasks = registry.counter("task_graph.tasks");
+  if (graph_tasks > 0) {
+    std::printf("executor: %llu graph tasks (%llu help-drained) — "
+                "train %.2f ms, validate %.2f, checkpoint %.2f, eval %.2f\n",
+                static_cast<unsigned long long>(graph_tasks),
+                static_cast<unsigned long long>(
+                    registry.counter("thread_pool.help_drained")),
+                registry.timer_mean_ms("task_graph.node.train"),
+                registry.timer_mean_ms("task_graph.node.validate"),
+                registry.timer_mean_ms("task_graph.node.checkpoint"),
+                registry.timer_mean_ms("task_graph.node.eval"));
+  }
   if (flags.has("metrics")) {
     const std::string path = flags.str("metrics", "metrics.csv");
     try {

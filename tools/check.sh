@@ -20,6 +20,10 @@
 #                             # fuzzer under the ASan build (truncation /
 #                             # bit-flip / garbage corpus must never
 #                             # crash or over-read)
+#   tools/check.sh --sweep-smoke
+#                             # also run sweep_bench --smoke plus a tiny
+#                             # baffle_sweep grid at BAFFLE_THREADS=1 vs
+#                             # 4 and fail on any CSV byte difference
 #   tools/check.sh --all      # every stage above
 #
 # Each stage reports one PASS/FAIL/SKIP line; the script stops at the
@@ -40,6 +44,7 @@ RUN_UBSAN=0
 RUN_TIDY=0
 RUN_BENCH_SMOKE=0
 RUN_FUZZ=0
+RUN_SWEEP_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --checks) RUN_CHECKS=1 ;;
@@ -49,8 +54,9 @@ for arg in "$@"; do
     --tidy) RUN_TIDY=1 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     --fuzz) RUN_FUZZ=1 ;;
+    --sweep-smoke) RUN_SWEEP_SMOKE=1 ;;
     --all) RUN_CHECKS=1; RUN_ASAN=1; RUN_TSAN=1; RUN_UBSAN=1; RUN_TIDY=1
-           RUN_BENCH_SMOKE=1; RUN_FUZZ=1 ;;
+           RUN_BENCH_SMOKE=1; RUN_FUZZ=1; RUN_SWEEP_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -126,6 +132,22 @@ if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
   stage "defense bench smoke (incremental parity)" run_bench_smoke
   stage "multieval bench smoke (batched/reduced-precision parity)" \
     run_multieval_smoke
+fi
+
+run_sweep_smoke() {
+  # Exits nonzero when the task-graph sweep driver's per-cell rows are
+  # not bit-identical to the serial cell loop (speedup gates only on
+  # multi-core hosts), then asserts CSV byte-parity across thread
+  # counts via the out-of-process python check.
+  cmake --build build-strict -j "$JOBS" --target sweep_bench \
+    baffle_sweep &&
+    (cd build-strict && ./bench/sweep_bench --smoke) &&
+    python3 tools/sweep_parity_test.py build-strict/tools/baffle_sweep
+}
+
+if [[ "$RUN_SWEEP_SMOKE" -eq 1 ]]; then
+  stage "sweep smoke (task-graph parity + thread-count determinism)" \
+    run_sweep_smoke
 fi
 
 if [[ "$RUN_CHECKS" -eq 1 ]]; then
