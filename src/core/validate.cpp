@@ -36,6 +36,52 @@ Validator::Validator(Dataset data, MlpConfig arch, ValidatorConfig config)
   eval_ws_.precision = config_.eval_precision;
 }
 
+// Move transfers the state wholesale without touching either lock:
+// moves happen only in single-threaded setup, before any concurrent use
+// (class contract above), so there is no capability to hold.
+Validator::Validator(Validator&& other) noexcept
+    BAFFLE_NO_THREAD_SAFETY_ANALYSIS
+    : data_(std::move(other.data_)),
+      config_(other.config_),
+      engine_(std::move(other.engine_)),
+      eval_ws_(std::move(other.eval_ws_)),
+      cache_(std::move(other.cache_)),
+      pending_(std::move(other.pending_)),
+      prev_candidate_(std::move(other.prev_candidate_)),
+      preds_scratch_(std::move(other.preds_scratch_)),
+      batch_preds_(std::move(other.batch_preds_)),
+      batch_models_(std::move(other.batch_models_)),
+      batch_refs_(std::move(other.batch_refs_)),
+      window_keys_(std::move(other.window_keys_)),
+      window_points_(std::move(other.window_points_)),
+      lof_window_(std::move(other.lof_window_)),
+      window_tau_(other.window_tau_),
+      window_tau_count_(other.window_tau_count_),
+      candidate_row_(std::move(other.candidate_row_)) {}
+
+Validator& Validator::operator=(Validator&& other) noexcept
+    BAFFLE_NO_THREAD_SAFETY_ANALYSIS {
+  if (this == &other) return *this;
+  data_ = std::move(other.data_);
+  config_ = other.config_;
+  engine_ = std::move(other.engine_);
+  eval_ws_ = std::move(other.eval_ws_);
+  cache_ = std::move(other.cache_);
+  pending_ = std::move(other.pending_);
+  prev_candidate_ = std::move(other.prev_candidate_);
+  preds_scratch_ = std::move(other.preds_scratch_);
+  batch_preds_ = std::move(other.batch_preds_);
+  batch_models_ = std::move(other.batch_models_);
+  batch_refs_ = std::move(other.batch_refs_);
+  window_keys_ = std::move(other.window_keys_);
+  window_points_ = std::move(other.window_points_);
+  lof_window_ = std::move(other.lof_window_);
+  window_tau_ = other.window_tau_;
+  window_tau_count_ = other.window_tau_count_;
+  candidate_row_ = std::move(other.candidate_row_);
+  return *this;
+}
+
 ConfusionMatrix Validator::confusion_from_preds(
     std::span<const std::size_t> preds) const {
   ConfusionMatrix cm(data_.num_classes());
@@ -111,6 +157,7 @@ void Validator::stash_pending(const ParamVec& candidate,
 
 void Validator::notify_commit(std::uint64_t version,
                               const ParamVec& committed) {
+  MutexLock lock(mu_);
   // Promotion must be exact: only when the committed parameters are
   // bit-equal to the candidate scored last is its confusion matrix
   // valid under the new version (deterministic inference ⇒ identical
@@ -123,6 +170,7 @@ void Validator::notify_commit(std::uint64_t version,
 }
 
 void Validator::notify_reject() {
+  MutexLock lock(mu_);
   // The pending confusion matrix is no longer promotable, but it is
   // still the exact evaluation of those parameters: keep it as the
   // repeat-candidate memo for a replayed submission.
@@ -151,6 +199,7 @@ ValidationOutcome Validator::validate(const ParamVec& candidate,
   std::vector<HistoryRef> refs;
   refs.reserve(history.size());
   for (const auto& h : history) refs.push_back({h.version, &h.params});
+  MutexLock lock(mu_);
   return validate_impl(candidate, refs);
 }
 
@@ -159,6 +208,7 @@ ValidationOutcome Validator::validate(const ParamVec& candidate,
   std::vector<HistoryRef> refs;
   refs.reserve(history.size());
   for (const auto& h : history) refs.push_back({h->version, &h->params});
+  MutexLock lock(mu_);
   return validate_impl(candidate, refs);
 }
 

@@ -35,6 +35,7 @@
 #include "core/lof.hpp"
 #include "core/prediction_cache.hpp"
 #include "nn/multi_eval.hpp"
+#include "util/sync.hpp"
 
 namespace baffle {
 
@@ -97,6 +98,15 @@ class Validator {
   /// match the global model (needed to materialize parameter vectors).
   Validator(Dataset data, MlpConfig arch, ValidatorConfig config);
 
+  // Movable so enclosing defenses can be returned by value during
+  // single-threaded setup. The mutex is not moved — each validator owns
+  // a fresh one — and moving a validator another thread is using is a
+  // race, like moving any synchronized container.
+  Validator(Validator&& other) noexcept;
+  Validator& operator=(Validator&& other) noexcept;
+  Validator(const Validator&) = delete;
+  Validator& operator=(const Validator&) = delete;
+
   /// Runs Algorithm 2. `history` is oldest→newest (up to ℓ+1 models,
   /// from ModelHistory::window). Confusion matrices for history models
   /// are cached across rounds by version.
@@ -119,7 +129,13 @@ class Validator {
   void notify_reject();
 
   const Dataset& data() const { return data_; }
-  const PredictionCache& cache() const { return cache_; }
+  /// Post-run inspection handle (tests, reports). The reference escapes
+  /// the lock deliberately: callers read it only after the rounds that
+  /// mutate this validator have finished.
+  const PredictionCache& cache() const {
+    MutexLock lock(mu_);
+    return cache_;
+  }
   const ValidatorConfig& config() const { return config_; }
 
  private:
@@ -138,50 +154,68 @@ class Validator {
   };
 
   ValidationOutcome validate_impl(const ParamVec& candidate,
-                                  std::span<const HistoryRef> history);
+                                  std::span<const HistoryRef> history)
+      BAFFLE_REQUIRES(mu_);
   ValidationOutcome validate_lof_incremental(
-      const ParamVec& candidate, std::span<const HistoryRef> history);
-  void sync_window(std::span<const HistoryRef> history);
-  void stash_pending(const ParamVec& candidate, const ConfusionMatrix& cm);
+      const ParamVec& candidate, std::span<const HistoryRef> history)
+      BAFFLE_REQUIRES(mu_);
+  void sync_window(std::span<const HistoryRef> history) BAFFLE_REQUIRES(mu_);
+  void stash_pending(const ParamVec& candidate, const ConfusionMatrix& cm)
+      BAFFLE_REQUIRES(mu_);
 
   /// Tallies a confusion matrix from per-sample predictions (sample
   /// order identical to evaluate_confusion's).
   ConfusionMatrix confusion_from_preds(
       std::span<const std::size_t> preds) const;
   /// One fused-engine evaluation (counts a model materialization).
-  ConfusionMatrix evaluate_params(const ParamVec& params);
+  ConfusionMatrix evaluate_params(const ParamVec& params)
+      BAFFLE_REQUIRES(mu_);
   /// Candidate evaluation with the repeat-candidate short-circuit: a
   /// candidate bit-equal to the one scored by the previous validate()
   /// reuses its confusion matrix instead of re-running inference.
-  ConfusionMatrix evaluate_candidate(const ParamVec& candidate);
-  const ConfusionMatrix& evaluate_history(const HistoryRef& snapshot);
+  ConfusionMatrix evaluate_candidate(const ParamVec& candidate)
+      BAFFLE_REQUIRES(mu_);
+  const ConfusionMatrix& evaluate_history(const HistoryRef& snapshot)
+      BAFFLE_REQUIRES(mu_);
   /// Batches every uncached history model through one predict_many pass
   /// (cache-miss-heavy paths: first rounds, fresh validators, lookback
   /// growth). Deposits results via PredictionCache::insert_missed, so
   /// the miss accounting matches the sequential get_or_eval path.
-  void prefetch_history(std::span<const HistoryRef> history);
+  void prefetch_history(std::span<const HistoryRef> history)
+      BAFFLE_REQUIRES(mu_);
 
   Dataset data_;
   ValidatorConfig config_;
-  MultiModelEval engine_;      // batched fused evaluation (DESIGN.md §14)
-  MlpEvalWorkspace eval_ws_;   // inference scratch, reused likewise
-  PredictionCache cache_;
-  std::optional<PendingCandidate> pending_;
-  std::optional<PendingCandidate> prev_candidate_;  // repeat-candidate memo
-  std::vector<std::size_t> preds_scratch_;
-  std::vector<std::size_t> batch_preds_;        // prefetch: models x samples
-  std::vector<MultiEvalModel> batch_models_;
-  std::vector<const HistoryRef*> batch_refs_;
+
+  // One lock serializes a validator's whole mutable state: a validate
+  // call is a single critical section (the engine scratch, prediction
+  // cache and incremental LOF window all mutate together), and the
+  // commit/reject feedback must be ordered against it. Concurrency in
+  // the system comes from running many validators, not from sharing one.
+  mutable Mutex mu_;
+  MultiModelEval engine_ BAFFLE_GUARDED_BY(mu_);  // batched fused evaluation
+  MlpEvalWorkspace eval_ws_ BAFFLE_GUARDED_BY(mu_);  // inference scratch
+  PredictionCache cache_ BAFFLE_GUARDED_BY(mu_);
+  std::optional<PendingCandidate> pending_ BAFFLE_GUARDED_BY(mu_);
+  std::optional<PendingCandidate> prev_candidate_
+      BAFFLE_GUARDED_BY(mu_);  // repeat-candidate memo
+  std::vector<std::size_t> preds_scratch_ BAFFLE_GUARDED_BY(mu_);
+  std::vector<std::size_t> batch_preds_
+      BAFFLE_GUARDED_BY(mu_);  // prefetch: models x samples
+  std::vector<MultiEvalModel> batch_models_ BAFFLE_GUARDED_BY(mu_);
+  std::vector<const HistoryRef*> batch_refs_ BAFFLE_GUARDED_BY(mu_);
 
   // Incremental LOF state (valid for the window identified by
   // window_keys_; rebuilt — reusing overlapping entries — when the
   // history window shifts, and left untouched across rejected rounds).
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> window_keys_;
-  std::vector<VariationPoint> window_points_;
-  LofWindow lof_window_;
-  double window_tau_ = 0.0;
-  std::size_t window_tau_count_ = 0;
-  std::vector<double> candidate_row_;  // scratch: candidate→window dists
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> window_keys_
+      BAFFLE_GUARDED_BY(mu_);
+  std::vector<VariationPoint> window_points_ BAFFLE_GUARDED_BY(mu_);
+  LofWindow lof_window_ BAFFLE_GUARDED_BY(mu_);
+  double window_tau_ BAFFLE_GUARDED_BY(mu_) = 0.0;
+  std::size_t window_tau_count_ BAFFLE_GUARDED_BY(mu_) = 0;
+  std::vector<double> candidate_row_
+      BAFFLE_GUARDED_BY(mu_);  // scratch: candidate→window dists
 };
 
 /// Parameters of Algorithm 2 as pure functions (unit-tested directly).

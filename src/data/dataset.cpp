@@ -36,23 +36,38 @@ void Dataset::add(Example ex) {
 }
 
 const Matrix& Dataset::features() const {
+  // Fast path: a warm cache is served entirely under the shared lock,
+  // so concurrent validators never serialize on a mutex here. The
+  // returned reference deliberately outlives the lock — it stays valid
+  // until the next mutating call, which the caller must order
+  // externally (class contract).
+  {
+    ReaderLock lock(cache_mutex_);
+    if (cache_valid_) return features_cache_;
+  }
   materialize_cache();
+  ReaderLock lock(cache_mutex_);
   return features_cache_;
 }
 
 const std::vector<int>& Dataset::labels() const {
+  {
+    ReaderLock lock(cache_mutex_);
+    if (cache_valid_) return labels_cache_;
+  }
   materialize_cache();
+  ReaderLock lock(cache_mutex_);
   return labels_cache_;
 }
 
 void Dataset::invalidate_cache() {
-  std::lock_guard lock(cache_mutex_);
+  WriterLock lock(cache_mutex_);
   cache_valid_ = false;
 }
 
 void Dataset::materialize_cache() const {
-  std::lock_guard lock(cache_mutex_);
-  if (cache_valid_) return;
+  WriterLock lock(cache_mutex_);
+  if (cache_valid_) return;  // another thread won the fill race
   features_cache_.resize(examples_.size(), dim_);
   labels_cache_.resize(examples_.size());
   for (std::size_t i = 0; i < examples_.size(); ++i) {

@@ -5,16 +5,17 @@
 // features()/labels() return references into a lazily materialized
 // cache, built once per mutation epoch — the validation loop evaluates
 // the same held-out set against ℓ+1 models every round, and used to pay
-// a full matrix copy per evaluation. Concurrent const access is safe
-// (the cache fill is mutex-guarded); mutation needs external
-// synchronization, like any standard container.
+// a full matrix copy per evaluation. Concurrent const access is safe:
+// readers check the cache under a shared lock (many validators can hit
+// the warm cache in parallel), the one-time fill takes the writer side.
+// Mutation needs external synchronization, like any standard container.
 
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace baffle {
 
@@ -83,6 +84,8 @@ class Dataset {
 
  private:
   void invalidate_cache();
+  /// One-time cache fill (re-checks validity under the writer lock —
+  /// concurrent readers race only on who fills it).
   void materialize_cache() const;
 
   std::size_t dim_ = 0;
@@ -90,12 +93,12 @@ class Dataset {
   std::vector<Example> examples_;
 
   // Lazily built dense views of examples_, shared by every evaluation
-  // against this dataset. Guarded so concurrent readers race only on
-  // who fills it.
-  mutable std::mutex cache_mutex_;
-  mutable bool cache_valid_ = false;
-  mutable Matrix features_cache_;
-  mutable std::vector<int> labels_cache_;
+  // against this dataset. Readers take the shared side of the lock;
+  // only the cache fill and invalidation write.
+  mutable SharedMutex cache_mutex_;
+  mutable bool cache_valid_ BAFFLE_GUARDED_BY(cache_mutex_) = false;
+  mutable Matrix features_cache_ BAFFLE_GUARDED_BY(cache_mutex_);
+  mutable std::vector<int> labels_cache_ BAFFLE_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace baffle

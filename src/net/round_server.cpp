@@ -31,10 +31,12 @@ void RoundServer::add_session(std::size_t client_id,
   if (channel == nullptr) {
     throw std::invalid_argument("RoundServer: null channel");
   }
+  MutexLock lock(mu_);
   sessions_[client_id] = Session{std::move(channel), kNeverSynced};
 }
 
 bool RoundServer::has_session(std::size_t client_id) const {
+  MutexLock lock(mu_);
   return sessions_.contains(client_id);
 }
 
@@ -47,6 +49,7 @@ RoundServer::Session& RoundServer::session_for(std::size_t client_id) {
 }
 
 std::uint64_t RoundServer::synced_version(std::size_t client_id) const {
+  MutexLock lock(mu_);
   const auto it = sessions_.find(client_id);
   if (it == sessions_.end()) {
     throw std::out_of_range("RoundServer: no session for client");
@@ -69,6 +72,7 @@ void RoundServer::broadcast_training(
   msg.version = version;
   msg.purpose = ModelPurpose::kTraining;
   msg.params = global;  // one copy per encode below; params stay put
+  MutexLock lock(mu_);
   for (std::size_t id : contributors) {
     send_frame(id, msg, CommCategory::kModelDownload);
   }
@@ -135,24 +139,30 @@ RoundServer::UpdateCollection RoundServer::collect_updates(
 
   while (remaining > 0) {
     bool progressed = false;
-    for (std::size_t i = 0; i < expected.size(); ++i) {
-      if (!pending[i]) continue;
-      // Drain everything queued on this session before marking it
-      // answered, so a duplicate sent in the same burst is seen (and
-      // rejected) rather than left to poison the next round's phase.
-      while (auto msg = poll_admissible(expected[i], round,
-                                        MsgType::kClientUpdate)) {
-        progressed = true;
-        auto& update = std::get<ClientUpdate>(*msg);
-        if (slots[i]) {
-          ++stats_.duplicates;
-          continue;
+    {
+      // Hold the server lock only for the poll sweep; it is released
+      // before helping the pool below, so an assisted task (a nested
+      // experiment driving its own server) can never deadlock on mu_.
+      MutexLock lock(mu_);
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (!pending[i]) continue;
+        // Drain everything queued on this session before marking it
+        // answered, so a duplicate sent in the same burst is seen (and
+        // rejected) rather than left to poison the next round's phase.
+        while (auto msg = poll_admissible(expected[i], round,
+                                          MsgType::kClientUpdate)) {
+          progressed = true;
+          auto& update = std::get<ClientUpdate>(*msg);
+          if (slots[i]) {
+            ++stats_.duplicates;
+            continue;
+          }
+          slots[i] = std::move(update.update);
         }
-        slots[i] = std::move(update.update);
-      }
-      if (slots[i]) {
-        pending[i] = false;
-        --remaining;
+        if (slots[i]) {
+          pending[i] = false;
+          --remaining;
+        }
       }
     }
     if (remaining == 0) break;
@@ -161,6 +171,7 @@ RoundServer::UpdateCollection RoundServer::collect_updates(
   }
 
   UpdateCollection out;
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < expected.size(); ++i) {
     if (slots[i]) {
       out.updates.push_back(std::move(*slots[i]));
@@ -184,6 +195,7 @@ void RoundServer::send_validation(std::uint64_t round,
   candidate_msg.purpose = ModelPurpose::kCandidate;
   candidate_msg.params = candidate;
 
+  MutexLock lock(mu_);
   for (std::size_t id : validators) {
     Session& session = session_for(id);
     HistoryDelta delta;
@@ -214,20 +226,23 @@ RoundServer::VoteCollection RoundServer::collect_votes(
 
   while (remaining > 0) {
     bool progressed = false;
-    for (std::size_t i = 0; i < expected.size(); ++i) {
-      if (!pending[i]) continue;
-      while (auto msg =
-                 poll_admissible(expected[i], round, MsgType::kVote)) {
-        progressed = true;
-        if (slots[i]) {
-          ++stats_.duplicates;
-          continue;
+    {
+      MutexLock lock(mu_);
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (!pending[i]) continue;
+        while (auto msg =
+                   poll_admissible(expected[i], round, MsgType::kVote)) {
+          progressed = true;
+          if (slots[i]) {
+            ++stats_.duplicates;
+            continue;
+          }
+          slots[i] = std::get<Vote>(std::move(*msg));
         }
-        slots[i] = std::get<Vote>(std::move(*msg));
-      }
-      if (slots[i]) {
-        pending[i] = false;
-        --remaining;
+        if (slots[i]) {
+          pending[i] = false;
+          --remaining;
+        }
       }
     }
     if (remaining == 0) break;
@@ -236,6 +251,7 @@ RoundServer::VoteCollection RoundServer::collect_votes(
   }
 
   VoteCollection out;
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < expected.size(); ++i) {
     if (slots[i]) {
       out.votes.push_back(*slots[i]);
@@ -251,6 +267,7 @@ RoundServer::VoteCollection RoundServer::collect_votes(
 void RoundServer::finish_round(const RoundResult& result,
                                const std::vector<std::size_t>& participants,
                                const std::vector<std::size_t>& validators) {
+  MutexLock lock(mu_);
   for (std::size_t id : participants) {
     send_frame(id, result, CommCategory::kControl);
   }
@@ -263,7 +280,13 @@ void RoundServer::finish_round(const RoundResult& result,
   }
 }
 
+ProtocolStats RoundServer::protocol_stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
 std::uint64_t RoundServer::wire_bytes() const {
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [id, session] : sessions_) {
     total += session.channel->bytes_sent() + session.channel->bytes_received();

@@ -38,6 +38,7 @@
 #include "core/history.hpp"
 #include "fl/comm.hpp"
 #include "net/transport.hpp"
+#include "util/sync.hpp"
 
 namespace baffle {
 
@@ -112,7 +113,8 @@ class RoundServer {
                     const std::vector<std::size_t>& participants,
                     const std::vector<std::size_t>& validators);
 
-  const ProtocolStats& protocol_stats() const { return stats_; }
+  /// Snapshot of the admission counters (copied under the lock).
+  ProtocolStats protocol_stats() const;
 
   /// Raw frame bytes that crossed all sessions, both directions, as the
   /// channels counted them — the ground truth CommTracker must match.
@@ -129,20 +131,26 @@ class RoundServer {
     std::uint64_t synced_version = kNeverSynced;
   };
 
-  Session& session_for(std::size_t client_id);
+  Session& session_for(std::size_t client_id) BAFFLE_REQUIRES(mu_);
   void send_frame(std::size_t client_id, const WireMessage& msg,
-                  CommCategory category);
+                  CommCategory category) BAFFLE_REQUIRES(mu_);
   /// One admission-checked poll of `client_id`'s channel. Returns the
   /// decoded message when a frame passed all checks, nullopt when the
   /// queue is empty or the frame was rejected (stats updated).
   std::optional<WireMessage> poll_admissible(std::size_t client_id,
                                              std::uint64_t round,
-                                             MsgType expected);
+                                             MsgType expected)
+      BAFFLE_REQUIRES(mu_);
 
   RoundServerConfig config_;
   std::size_t expected_params_;
-  std::unordered_map<std::size_t, Session> sessions_;
-  ProtocolStats stats_;
+  // Lock order: mu_ before any channel's internal link mutex (channel
+  // calls happen under mu_; channels never call back into the server).
+  // Collection loops release mu_ before helping the thread pool, so an
+  // assisted task can safely reenter the server.
+  mutable Mutex mu_;
+  std::unordered_map<std::size_t, Session> sessions_ BAFFLE_GUARDED_BY(mu_);
+  ProtocolStats stats_ BAFFLE_GUARDED_BY(mu_);
   CommTracker* tracker_ = nullptr;
 };
 

@@ -1,23 +1,27 @@
 #include "net/transport.hpp"
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/sync.hpp"
 
 namespace baffle {
 
 namespace {
 
 /// Shared state of one in-process duplex link. Endpoint 0 and endpoint 1
-/// each send into their own queue and receive from the peer's.
+/// each send into their own queue and receive from the peer's. Every
+/// field — queues, per-direction byte counters, the closed flag — is
+/// guarded by the link mutex; received bytes are counted at pop time,
+/// under the same critical section that dequeues the frame, so the
+/// counters can never disagree with the queues.
 struct InProcLink {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<WireBytes> queue[2];  // queue[i] holds frames sent BY end i
-  std::uint64_t bytes_sent[2] = {0, 0};
-  std::uint64_t bytes_received[2] = {0, 0};
-  bool closed = false;
+  Mutex mutex;
+  CondVar cv;
+  std::deque<WireBytes> queue[2] BAFFLE_GUARDED_BY(mutex);
+  std::uint64_t bytes_sent[2] BAFFLE_GUARDED_BY(mutex) = {0, 0};
+  std::uint64_t bytes_received[2] BAFFLE_GUARDED_BY(mutex) = {0, 0};
+  bool closed BAFFLE_GUARDED_BY(mutex) = false;
 };
 
 class InProcChannel final : public Channel {
@@ -26,7 +30,7 @@ class InProcChannel final : public Channel {
       : link_(std::move(link)), end_(end) {}
 
   void send(WireBytes frame) override {
-    std::lock_guard<std::mutex> lock(link_->mutex);
+    MutexLock lock(link_->mutex);
     if (link_->closed) {
       throw std::runtime_error("InProcChannel: send on closed channel");
     }
@@ -36,44 +40,49 @@ class InProcChannel final : public Channel {
   }
 
   std::optional<WireBytes> try_recv() override {
-    std::lock_guard<std::mutex> lock(link_->mutex);
+    MutexLock lock(link_->mutex);
     return pop_locked();
   }
 
   std::optional<WireBytes> recv_for(
       std::chrono::milliseconds timeout) override {
-    std::unique_lock<std::mutex> lock(link_->mutex);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(link_->mutex);
     const int peer = 1 - end_;
-    link_->cv.wait_for(lock, timeout, [&] {
-      return !link_->queue[peer].empty() || link_->closed;
-    });
+    while (link_->queue[peer].empty() && !link_->closed) {
+      if (link_->cv.wait_until(link_->mutex, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
     return pop_locked();
   }
 
   void close() override {
-    std::lock_guard<std::mutex> lock(link_->mutex);
+    MutexLock lock(link_->mutex);
     link_->closed = true;
     link_->cv.notify_all();
   }
 
   bool closed() const override {
-    std::lock_guard<std::mutex> lock(link_->mutex);
+    MutexLock lock(link_->mutex);
     return link_->closed;
   }
 
   std::uint64_t bytes_sent() const override {
-    std::lock_guard<std::mutex> lock(link_->mutex);
+    MutexLock lock(link_->mutex);
     return link_->bytes_sent[end_];
   }
 
   std::uint64_t bytes_received() const override {
-    std::lock_guard<std::mutex> lock(link_->mutex);
+    MutexLock lock(link_->mutex);
     return link_->bytes_received[end_];
   }
 
  private:
-  /// Pops the next frame sent by the peer; caller holds the lock.
-  std::optional<WireBytes> pop_locked() {
+  /// Pops the next frame sent by the peer and counts its bytes as
+  /// received by this endpoint.
+  std::optional<WireBytes> pop_locked() BAFFLE_REQUIRES(link_->mutex) {
     const int peer = 1 - end_;
     if (link_->queue[peer].empty()) return std::nullopt;
     WireBytes frame = std::move(link_->queue[peer].front());

@@ -4,6 +4,7 @@
 
 #include "tensor/ops.hpp"
 #include "util/contracts.hpp"
+#include "util/sync.hpp"
 
 namespace baffle {
 
@@ -55,7 +56,12 @@ void Dense::forward(const Matrix& x, Matrix& out) {
   cached_output_ = out;
 }
 
-void Dense::forward_eval(ConstMatrixView x, Matrix& out) const {
+// Sanctioned lock-free escape: concurrent const evaluation reads the
+// member pack only when its version stamp already matches the current
+// parameters, and every mutation of the pack happens in the exclusive
+// training phase — monotone publish, no capability to annotate.
+void Dense::forward_eval(ConstMatrixView x,
+                         Matrix& out) const BAFFLE_NO_THREAD_SAFETY_ANALYSIS {
   BAFFLE_CHECK(x.cols() == in_dim_, "input width must match the layer");
   out.resize(x.rows(), out_dim_);
   // const + concurrent-safe: use the member pack only when it already

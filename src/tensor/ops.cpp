@@ -11,6 +11,7 @@
 #include "util/contracts.hpp"
 #include "tensor/simd.hpp"
 #include "util/metrics.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace baffle {
@@ -90,12 +91,15 @@ class GemmReport {
 /// once their level's row blocks have joined.
 class PackScratchLease {
  public:
-  PackScratchLease() {
+  // Sanctioned lock-free escape: the slot stack is thread_local, so no
+  // two threads ever touch the same deque; per-thread exclusivity is the
+  // whole invariant and there is no capability to annotate.
+  PackScratchLease() BAFFLE_NO_THREAD_SAFETY_ANALYSIS {
     if (slots().size() <= depth()) slots().emplace_back();
     buffer_ = &slots()[depth()];
     ++depth();
   }
-  ~PackScratchLease() { --depth(); }
+  ~PackScratchLease() BAFFLE_NO_THREAD_SAFETY_ANALYSIS { --depth(); }
   PackScratchLease(const PackScratchLease&) = delete;
   PackScratchLease& operator=(const PackScratchLease&) = delete;
 

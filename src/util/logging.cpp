@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace baffle {
 
@@ -42,8 +43,10 @@ void set_log_threshold(LogLevel level) { threshold_storage().store(level); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
-  static std::mutex mutex;
-  std::lock_guard lock(mutex);
+  // Serializes whole lines onto stderr; there is no guarded data, the
+  // mutex only keeps concurrent messages from interleaving.
+  static Mutex mutex;
+  MutexLock lock(mutex);
   std::cerr << "[baffle:" << level_name(level) << "] " << msg << '\n';
 }
 

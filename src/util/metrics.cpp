@@ -11,37 +11,37 @@ MetricsRegistry& MetricsRegistry::global() {
 
 void MetricsRegistry::add_counter(const std::string& name,
                                   std::uint64_t delta) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::add_timer(const std::string& name, double seconds) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Timer& t = timers_[name];
   ++t.count;
   t.total_seconds += seconds;
 }
 
 std::uint64_t MetricsRegistry::counter(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::timer_seconds(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = timers_.find(name);
   return it == timers_.end() ? 0.0 : it->second.total_seconds;
 }
 
 std::uint64_t MetricsRegistry::timer_count(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = timers_.find(name);
   return it == timers_.end() ? 0 : it->second.count;
 }
 
 double MetricsRegistry::timer_mean_ms(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = timers_.find(name);
   if (it == timers_.end() || it->second.count == 0) return 0.0;
   return it->second.total_seconds * 1e3 /
@@ -49,7 +49,7 @@ double MetricsRegistry::timer_mean_ms(const std::string& name) const {
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + timers_.size());
   for (const auto& [name, value] : counters_) {
@@ -70,7 +70,7 @@ void MetricsRegistry::dump_csv(const std::string& path) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   counters_.clear();
   timers_.clear();
 }

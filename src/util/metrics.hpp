@@ -12,9 +12,10 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace baffle {
 
@@ -67,9 +68,9 @@ class MetricsRegistry {
     double total_seconds = 0.0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, Timer> timers_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_ BAFFLE_GUARDED_BY(mutex_);
+  std::map<std::string, Timer> timers_ BAFFLE_GUARDED_BY(mutex_);
 };
 
 /// RAII wall-clock timer: accumulates its lifetime into

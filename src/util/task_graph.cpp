@@ -45,7 +45,7 @@ TaskGraph::TaskId TaskGraph::add(TaskNodeKind kind, std::function<void()> fn,
   std::vector<TaskId> ready;
   TaskId id = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     id = nodes_.size();
     // Dependencies must already exist, which keeps the graph acyclic by
     // construction (a node can never depend on a later one). Validated
@@ -96,7 +96,7 @@ void TaskGraph::run_node(TaskId id) {
   std::function<void()> fn;
   TaskNodeKind kind = TaskNodeKind::kTrain;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     fn = std::move(nodes_[id].fn);
     nodes_[id].fn = nullptr;
     kind = nodes_[id].kind;
@@ -118,7 +118,7 @@ void TaskGraph::run_node(TaskId id) {
 
   std::vector<TaskId> ready;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (failure && !error_) error_ = failure;
     ready = finish_node(id, failure ? State::kFailed : State::kDone);
   }
@@ -175,7 +175,7 @@ void TaskGraph::wait_all() {
     // and wakes the wait below — never a lost wakeup.
     const std::uint64_t seen = pool_.progress_stamp();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (unfinished_ == 0) break;
     }
     if (pool_.try_run_one()) continue;
@@ -183,7 +183,7 @@ void TaskGraph::wait_all() {
   }
   std::exception_ptr err;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     err = error_;
     error_ = nullptr;
   }
@@ -191,12 +191,12 @@ void TaskGraph::wait_all() {
 }
 
 std::size_t TaskGraph::tasks_run() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return run_;
 }
 
 std::size_t TaskGraph::tasks_skipped() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return skipped_;
 }
 

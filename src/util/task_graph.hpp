@@ -26,9 +26,9 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace baffle {
@@ -94,16 +94,18 @@ class TaskGraph {
   void run_node(TaskId id);
   /// Marks `id` finished with `state`, releases dependents, and skips
   /// their transitive closure on failure. Returns nodes to submit.
-  std::vector<TaskId> finish_node(TaskId id, State state);
+  std::vector<TaskId> finish_node(TaskId id, State state)
+      BAFFLE_REQUIRES(mutex_);
   void submit_ready(const std::vector<TaskId>& ready);
 
   ThreadPool& pool_;
-  mutable std::mutex mutex_;
-  std::vector<Node> nodes_;
-  std::size_t unfinished_ = 0;  // waiting + ready + running
-  std::size_t run_ = 0;
-  std::size_t skipped_ = 0;
-  std::exception_ptr error_;
+  mutable Mutex mutex_;
+  std::vector<Node> nodes_ BAFFLE_GUARDED_BY(mutex_);
+  // waiting + ready + running
+  std::size_t unfinished_ BAFFLE_GUARDED_BY(mutex_) = 0;
+  std::size_t run_ BAFFLE_GUARDED_BY(mutex_) = 0;
+  std::size_t skipped_ BAFFLE_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ BAFFLE_GUARDED_BY(mutex_);
 };
 
 }  // namespace baffle

@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
     ++progress_;
   }
@@ -36,7 +36,7 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
   std::packaged_task<void()> task(std::move(job));
   auto fut = task.get_future();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
     ++progress_;
   }
@@ -54,7 +54,7 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   std::atomic<std::size_t> next{0};
   std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   auto body = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
@@ -62,7 +62,7 @@ void ThreadPool::parallel_for(std::size_t n,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!error) error = std::current_exception();
       }
     }
@@ -95,13 +95,13 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 std::uint64_t ThreadPool::progress_stamp() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return progress_;
 }
 
 void ThreadPool::wait_progress(std::uint64_t seen) const {
-  std::unique_lock lock(mutex_);
-  progress_cv_.wait(lock, [&] { return stop_ || progress_ != seen; });
+  MutexLock lock(mutex_);
+  while (!stop_ && progress_ == seen) progress_cv_.wait(mutex_);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -125,7 +125,7 @@ ThreadPool& ThreadPool::global() {
 bool ThreadPool::try_run_one() {
   std::packaged_task<void()> task;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();
@@ -138,7 +138,7 @@ bool ThreadPool::try_run_one() {
 
 void ThreadPool::bump_progress() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ++progress_;
   }
   progress_cv_.notify_all();
@@ -148,8 +148,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();

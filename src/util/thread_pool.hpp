@@ -6,15 +6,15 @@
 // concurrently. Determinism is preserved by handing each job a
 // pre-forked Rng rather than sharing one.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace baffle {
 
@@ -62,12 +62,15 @@ class ThreadPool {
   void bump_progress();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  mutable std::condition_variable progress_cv_;
-  std::uint64_t progress_ = 0;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  std::queue<std::packaged_task<void()>> queue_ BAFFLE_GUARDED_BY(mutex_);
+  CondVar cv_;                    // workers: queued work or shutdown
+  mutable CondVar progress_cv_;   // waiters: any task queued/completed
+  // Progress-stamp protocol: bumped under mutex_ on every submit and
+  // every completion; wait_progress sleepers re-check it against the
+  // stamp they read before their readiness check (no lost wakeups).
+  std::uint64_t progress_ BAFFLE_GUARDED_BY(mutex_) = 0;
+  bool stop_ BAFFLE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace baffle

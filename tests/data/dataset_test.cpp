@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace baffle {
 namespace {
 
@@ -38,6 +42,34 @@ TEST(Dataset, FeaturesAreCachedAcrossCalls) {
   EXPECT_EQ(&d.features(), &d.features());
   EXPECT_EQ(&d.labels(), &d.labels());
   EXPECT_EQ(d.features().flat().data(), d.features().flat().data());
+}
+
+TEST(Dataset, ConcurrentColdReadersShareOneCacheFill) {
+  // Many validators hit the same shard's features()/labels() in
+  // parallel (TSan covers the interleaving via test_data in the
+  // sanitizer leg). From a cold cache, exactly one reader wins the
+  // writer-side fill and everyone observes the same materialization.
+  Dataset d(2, 3);
+  for (int i = 0; i < 64; ++i) {
+    d.add({{static_cast<float>(i), static_cast<float>(2 * i)}, i % 3});
+  }
+  std::atomic<int> consistent{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      const Matrix& x = d.features();
+      const auto& y = d.labels();
+      if (x.rows() == 64 && y.size() == 64 && x.at(5, 0) == 5.0f &&
+          x.at(7, 1) == 14.0f && y[8] == 2) {
+        consistent.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(consistent.load(), 4);
+  // One shared materialization: repeat calls return the same buffers.
+  EXPECT_EQ(&d.features(), &d.features());
+  EXPECT_EQ(&d.labels(), &d.labels());
 }
 
 TEST(Dataset, AddInvalidatesCache) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 namespace baffle {
 namespace {
@@ -243,6 +245,39 @@ TEST(RoundServer, TrackerTotalsMatchChannelByteCountsExactly) {
   EXPECT_GT(s.history_bytes, 0u);
   EXPECT_GT(s.control_bytes, 0u);
   EXPECT_EQ(s.total_bytes(), rig.server.wire_bytes());
+}
+
+TEST(RoundServer, ConcurrentAccountingReadsDuringCollection) {
+  // Clients answer from their own threads while the server runs its
+  // collection loop and a monitor thread polls the accounting surface —
+  // the access pattern that used to assume a single driving thread.
+  // Correctness here is ordering-free (the lock serializes the counter
+  // snapshots); the TSan leg (test_net at BAFFLE_THREADS=4) turns any
+  // unguarded access back into a hard failure.
+  Rig rig(3);
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    while (!done.load()) {
+      (void)rig.server.protocol_stats().total_rejected();
+      (void)rig.server.wire_bytes();
+      (void)rig.server.has_session(0);
+      (void)rig.server.synced_version(1);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> senders;
+  for (std::size_t id = 0; id < 3; ++id) {
+    senders.emplace_back(
+        [&rig, id] { rig.send(id, rig.update_from(id, 1, 1.0f)); });
+  }
+  const auto got = rig.server.collect_updates(1, {0, 1, 2});
+  done.store(true);
+  monitor.join();
+  for (auto& t : senders) t.join();
+  EXPECT_EQ(got.responders.size() + got.dropped.size(), 3u);
+  const auto stats = rig.server.protocol_stats();
+  EXPECT_EQ(stats.total_rejected(), 0u);
+  EXPECT_EQ(stats.timeouts, got.dropped.size());
 }
 
 TEST(RoundServer, RejectsDegenerateConstruction) {

@@ -22,6 +22,7 @@ EXPECTED = [
     ("no-iostream", "bad_iostream.cpp"),
     ("no-naked-new", "bad_new.cpp"),
     ("no-libc-random", "bad_rand.cpp"),
+    ("raw-sync", "bad_mutex.cpp"),
     ("header-hygiene", "bad_header.hpp"),
     ("dispatch-table", "kernels_simd.cpp"),   # zorp: no SIMD impl
     ("dispatch-table", "simd_parity_test.cpp"),  # zorp: no parity test
@@ -31,6 +32,9 @@ CLEAN = [
     # (rule, path substring) pairs that must NOT be reported
     ("no-iostream", "kernels_scalar.cpp"),
     ("dispatch-table", "frob_rows"),
+    # The sanctioned wrapper layer is exempt (matched on the full
+    # fixture path: the rule's advice text also mentions sync.hpp).
+    ("raw-sync", os.path.join("src", "util", "sync.hpp")),
 ]
 
 

@@ -1,0 +1,15 @@
+// Seeded raw-sync violation: locks with the naked standard-library
+// primitives instead of the annotated wrappers in util/sync.hpp.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mutex;
+int g_value = 0;
+
+void bump() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  ++g_value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+#pragma once
+// Fixture copy of the sanctioned raw-sync sink: util/sync.hpp is the
+// one file allowed to touch the naked primitives (it wraps them in the
+// annotated capability types). The linter must NOT flag this file.
+#include <mutex>
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock() { m_.lock(); }
+  void unlock() { m_.unlock(); }
+
+ private:
+  std::mutex m_;
+};
+
+}  // namespace fixture

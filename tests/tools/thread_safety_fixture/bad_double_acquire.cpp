@@ -1,0 +1,27 @@
+// Negative fixture: acquires the same mutex twice in one scope — the
+// self-deadlock a public method calling another public method would
+// hit. The gate must reject this translation unit.
+// expect-error: already held
+#include "util/sync.hpp"
+
+namespace fixture {
+
+class Widget {
+ public:
+  void poke() {
+    baffle::MutexLock lock(mu_);
+    baffle::MutexLock again(mu_);  // deadlock: mu_ is not recursive
+    ++value_;
+  }
+
+ private:
+  baffle::Mutex mu_;
+  int value_ BAFFLE_GUARDED_BY(mu_) = 0;
+};
+
+void drive() {
+  Widget w;
+  w.poke();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Negative fixture: writes a BAFFLE_GUARDED_BY field without holding
+// its mutex. The gate must reject this translation unit.
+// expect-error: requires holding mutex
+#include "util/sync.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    ++value_;  // guarded by mu_, but mu_ is not held here
+  }
+
+ private:
+  baffle::Mutex mu_;
+  int value_ BAFFLE_GUARDED_BY(mu_) = 0;
+};
+
+void drive() {
+  Counter c;
+  c.bump_unlocked();
+}
+
+}  // namespace fixture

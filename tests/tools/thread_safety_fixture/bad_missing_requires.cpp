@@ -1,0 +1,28 @@
+// Negative fixture: calls a BAFFLE_REQUIRES helper without holding the
+// lock it demands. The gate must reject this translation unit.
+// expect-error: requires holding mutex
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace fixture {
+
+class Buffer {
+ public:
+  void flush_unlocked() {
+    drain();  // drain() requires mu_, which is not held here
+  }
+
+ private:
+  void drain() BAFFLE_REQUIRES(mu_) { items_.clear(); }
+
+  baffle::Mutex mu_;
+  std::vector<int> items_ BAFFLE_GUARDED_BY(mu_);
+};
+
+void drive() {
+  Buffer b;
+  b.flush_unlocked();
+}
+
+}  // namespace fixture

@@ -18,6 +18,13 @@ Rules (each failure names the file and the rule id):
   no-libc-random      No rand()/srand()/time() seeding in src/**; all
                       randomness flows through util/rng.hpp so runs stay
                       reproducible.
+  raw-sync            No naked std::mutex / std::lock_guard /
+                      std::condition_variable (and friends) in src/**;
+                      all locking goes through the annotated capability
+                      wrappers in util/sync.hpp so Clang Thread Safety
+                      Analysis sees every critical section. sync.hpp
+                      itself is the one sanctioned user of the raw
+                      primitives.
   header-hygiene      Every header under src/ must be self-contained:
                       `#include "x.hpp"` alone must compile (checked
                       with $CXX -fsyntax-only). Skipped with
@@ -40,12 +47,21 @@ import sys
 import tempfile
 
 LIBRARY_OUTPUT_SINKS = {os.path.join("util", "logging.cpp")}
+# The annotated wrapper layer is the single sanctioned user of the raw
+# standard-library synchronization primitives.
+RAW_SYNC_SINKS = {os.path.join("util", "sync.hpp")}
 
 IOSTREAM_INCLUDE = re.compile(r'^\s*#\s*include\s*<(iostream|cstdio|stdio\.h)>')
 PRINTF_CALL = re.compile(r'(?<![\w:.])(?:std::)?(?:printf|fprintf|puts)\s*\(')
 NEW_EXPR = re.compile(r'(?<![\w.])new\s+[A-Za-z_(]')
 DELETE_EXPR = re.compile(r'(?<![\w.])delete(\[\])?\s+[A-Za-z_(*]')
 LIBC_RANDOM = re.compile(r'(?<![\w:.])(?:std::)?(?:rand|srand|time)\s*\(')
+RAW_SYNC = re.compile(
+    r'std::(?:mutex|shared_mutex|timed_mutex|recursive_mutex|'
+    r'condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|'
+    r'shared_lock)\b')
+RAW_SYNC_INCLUDE = re.compile(
+    r'^\s*#\s*include\s*<(mutex|shared_mutex|condition_variable)>')
 ALLOW = re.compile(r'//\s*baffle-lint:\s*allow\(([a-z-]+)\)')
 
 TABLE_MEMBER = re.compile(r'\(\s*\*\s*(\w+)\s*\)\s*\(')
@@ -92,6 +108,7 @@ class Linter:
     def lint_source_file(self, path: str) -> None:
         rel = os.path.relpath(path, os.path.join(self.root, "src"))
         is_output_sink = rel in LIBRARY_OUTPUT_SINKS
+        is_sync_sink = rel in RAW_SYNC_SINKS
         with open(path, encoding="utf-8") as f:
             for line_no, raw in enumerate(f, start=1):
                 allowed = {m for m in ALLOW.findall(raw)}
@@ -111,6 +128,13 @@ class Linter:
                         self.fail("no-libc-random", path, line_no,
                                   "libc rand()/srand()/time() (use "
                                   "util/rng.hpp so runs are reproducible)")
+                if not is_sync_sink and "raw-sync" not in allowed:
+                    if RAW_SYNC.search(line) or RAW_SYNC_INCLUDE.search(line):
+                        self.fail("raw-sync", path, line_no,
+                                  "raw standard-library synchronization "
+                                  "(use the annotated wrappers in "
+                                  "util/sync.hpp so thread-safety "
+                                  "analysis sees the critical section)")
 
     # -- dispatch-table completeness -----------------------------------
 

@@ -13,6 +13,11 @@
 #   tools/check.sh --ubsan    # also build with -fsanitize=undefined and
 #                             # run the numeric suites on both arms
 #   tools/check.sh --tidy     # also run clang-tidy (skips if absent)
+#   tools/check.sh --thread-safety
+#                             # also build everything with clang under
+#                             # -Werror=thread-safety-analysis and run
+#                             # the compile-fail fixtures (skips when
+#                             # clang is absent)
 #   tools/check.sh --bench-smoke
 #                             # also run defense_bench --smoke and fail
 #                             # on an incremental/baseline parity break
@@ -42,6 +47,7 @@ RUN_ASAN=0
 RUN_TSAN=0
 RUN_UBSAN=0
 RUN_TIDY=0
+RUN_THREAD_SAFETY=0
 RUN_BENCH_SMOKE=0
 RUN_FUZZ=0
 RUN_SWEEP_SMOKE=0
@@ -52,10 +58,12 @@ for arg in "$@"; do
     --tsan) RUN_TSAN=1 ;;
     --ubsan) RUN_UBSAN=1 ;;
     --tidy) RUN_TIDY=1 ;;
+    --thread-safety) RUN_THREAD_SAFETY=1 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     --fuzz) RUN_FUZZ=1 ;;
     --sweep-smoke) RUN_SWEEP_SMOKE=1 ;;
     --all) RUN_CHECKS=1; RUN_ASAN=1; RUN_TSAN=1; RUN_UBSAN=1; RUN_TIDY=1
+           RUN_THREAD_SAFETY=1
            RUN_BENCH_SMOKE=1; RUN_FUZZ=1; RUN_SWEEP_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -181,7 +189,8 @@ run_tsan_suites() {
   # GEMM, round-training, secure-agg masking and defense.evaluate paths
   # actually interleave under TSan.
   local bin
-  for bin in test_tensor test_core test_util test_fl test_net test_exp; do
+  for bin in test_tensor test_core test_util test_data test_fl test_net \
+      test_exp; do
     BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
       "./build-tsan/tests/${bin}" --gtest_brief=1 || return 1
   done
@@ -190,7 +199,7 @@ run_tsan_suites() {
 if [[ "$RUN_TSAN" -eq 1 ]]; then
   stage "TSan build (BAFFLE_TSAN=ON)" \
     build_targets build-tsan -DBAFFLE_TSAN=ON \
-    test_tensor test_core test_util test_fl test_net test_exp
+    test_tensor test_core test_util test_data test_fl test_net test_exp
   stage "concurrent suites under TSan" run_tsan_suites
 fi
 
@@ -229,6 +238,26 @@ if [[ "$RUN_TIDY" -eq 1 ]]; then
     stage "clang-tidy (tools/tidy.sh)" tools/tidy.sh build-strict
   else
     skip "clang-tidy" "not installed"
+  fi
+fi
+
+run_thread_safety_build() {
+  # Whole-tree clang build with the analysis promoted to an error: any
+  # guarded field touched without its lock anywhere in src/tools/bench
+  # fails this stage. The fixtures then prove the gate actually rejects
+  # the three seeded lock-discipline bugs.
+  CC=clang CXX=clang++ cmake -B build-threadsafety -S . \
+    -DBAFFLE_THREAD_SAFETY=ON &&
+    cmake --build build-threadsafety -j "$JOBS" &&
+    tools/thread_safety_fixtures.sh
+}
+
+if [[ "$RUN_THREAD_SAFETY" -eq 1 ]]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    stage "thread-safety analysis (clang, BAFFLE_THREAD_SAFETY=ON)" \
+      run_thread_safety_build
+  else
+    skip "thread-safety analysis" "clang not installed"
   fi
 fi
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Compile-fail tests for the Clang Thread Safety Analysis gate.
+#
+# The positive control (ok_annotated.cpp) must compile clean under the
+# exact flags BAFFLE_THREAD_SAFETY=ON adds; each bad_*.cpp fixture must
+# be REJECTED, and the diagnostic must contain the substring on the
+# fixture's `// expect-error:` line — proving the gate catches (1) a
+# guarded-field access without the lock, (2) a missing-REQUIRES call,
+# and (3) a double acquire.
+#
+#   tools/thread_safety_fixtures.sh
+#
+# Exits 0 when all fixtures behave, 1 on any miss, and 0 with a SKIP
+# notice when no clang++ is installed (the analysis is clang-only; CI
+# installs it, local gcc-only boxes still run everything else).
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANGXX=""
+for cand in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+            clang++-17 clang++-16 clang++-15 clang++-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    CLANGXX="$cand"
+    break
+  fi
+done
+if [[ -z "${CLANGXX}" ]]; then
+  echo "thread-safety fixtures: SKIP (no clang++ installed)"
+  exit 0
+fi
+
+TSA_FLAGS=(-std=c++20 -fsyntax-only -I src
+           -Wthread-safety -Wthread-safety-beta
+           -Werror=thread-safety-analysis)
+FIXTURES=tests/tools/thread_safety_fixture
+status=0
+
+# Positive control: the wrappers themselves must be warning-clean, or
+# the rejections below would prove nothing.
+if out=$("${CLANGXX}" "${TSA_FLAGS[@]}" "${FIXTURES}/ok_annotated.cpp" 2>&1); then
+  echo "PASS  ok_annotated.cpp compiles clean"
+else
+  echo "FAIL  ok_annotated.cpp must compile clean under TSA, got:"
+  echo "${out}"
+  status=1
+fi
+
+for bad in "${FIXTURES}"/bad_*.cpp; do
+  expect=$(sed -n 's|^// expect-error: ||p' "${bad}")
+  if [[ -z "${expect}" ]]; then
+    echo "FAIL  $(basename "${bad}") has no '// expect-error:' line"
+    status=1
+    continue
+  fi
+  if out=$("${CLANGXX}" "${TSA_FLAGS[@]}" "${bad}" 2>&1); then
+    echo "FAIL  $(basename "${bad}") compiled — the gate missed it"
+    status=1
+  elif [[ "${out}" == *"${expect}"* ]]; then
+    echo "PASS  $(basename "${bad}") rejected (\"${expect}\")"
+  else
+    echo "FAIL  $(basename "${bad}") rejected, but without \"${expect}\":"
+    echo "${out}"
+    status=1
+  fi
+done
+
+if [[ ${status} -eq 0 ]]; then
+  echo "thread-safety fixtures: all fixtures behaved (${CLANGXX})"
+fi
+exit ${status}
