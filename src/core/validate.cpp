@@ -34,24 +34,30 @@ Validator::Validator(Dataset data, MlpConfig arch, ValidatorConfig config)
   BAFFLE_CHECK(!data_.empty(), "validator needs a non-empty dataset");
   engine_.bind(data_.features());
   eval_ws_.precision = config_.eval_precision;
+  // The serial workspace backs evaluate_params, which runs under mu_:
+  // it must never wait on the pool (see the lock-scope header comment).
+  eval_ws_.parallel = false;
+  batch_ws_.precision = config_.eval_precision;
+  batch_ws_.parallel = config_.parallel_eval;
 }
 
 // Move transfers the state wholesale without touching either lock:
 // moves happen only in single-threaded setup, before any concurrent use
-// (class contract above), so there is no capability to hold.
+// (class contract above), so there is no capability to hold and the
+// `validating_` flag of a moved-from validator is necessarily clear.
 Validator::Validator(Validator&& other) noexcept
     BAFFLE_NO_THREAD_SAFETY_ANALYSIS
     : data_(std::move(other.data_)),
       config_(other.config_),
-      engine_(std::move(other.engine_)),
-      eval_ws_(std::move(other.eval_ws_)),
       cache_(std::move(other.cache_)),
       pending_(std::move(other.pending_)),
       prev_candidate_(std::move(other.prev_candidate_)),
       preds_scratch_(std::move(other.preds_scratch_)),
+      eval_ws_(std::move(other.eval_ws_)),
+      engine_(std::move(other.engine_)),
+      batch_ws_(std::move(other.batch_ws_)),
       batch_preds_(std::move(other.batch_preds_)),
       batch_models_(std::move(other.batch_models_)),
-      batch_refs_(std::move(other.batch_refs_)),
       window_keys_(std::move(other.window_keys_)),
       window_points_(std::move(other.window_points_)),
       lof_window_(std::move(other.lof_window_)),
@@ -70,9 +76,9 @@ Validator& Validator::operator=(Validator&& other) noexcept
   pending_ = std::move(other.pending_);
   prev_candidate_ = std::move(other.prev_candidate_);
   preds_scratch_ = std::move(other.preds_scratch_);
+  batch_ws_ = std::move(other.batch_ws_);
   batch_preds_ = std::move(other.batch_preds_);
   batch_models_ = std::move(other.batch_models_);
-  batch_refs_ = std::move(other.batch_refs_);
   window_keys_ = std::move(other.window_keys_);
   window_points_ = std::move(other.window_points_);
   lof_window_ = std::move(other.lof_window_);
@@ -99,54 +105,11 @@ ConfusionMatrix Validator::evaluate_params(const ParamVec& params) {
   return confusion_from_preds(preds_scratch_);
 }
 
-ConfusionMatrix Validator::evaluate_candidate(const ParamVec& candidate) {
-  // Repeat submissions (an adaptive attacker's self-check loop, or a
-  // round replayed after a rejection) re-validate bit-identical
-  // parameters; deterministic inference makes the previous confusion
-  // matrix exact, so the forward pass is skipped entirely.
-  if (prev_candidate_ && prev_candidate_->params == candidate) {
-    MetricsRegistry::global().add_counter("validator.candidate_cm_reuse");
-    return prev_candidate_->cm;
-  }
-  return evaluate_params(candidate);
-}
-
 const ConfusionMatrix& Validator::evaluate_history(
     const HistoryRef& snapshot) {
   return cache_.get_or_eval(snapshot.version, [&] {
     return evaluate_params(*snapshot.params);
   });
-}
-
-void Validator::prefetch_history(std::span<const HistoryRef> history) {
-  batch_refs_.clear();
-  for (const auto& h : history) {
-    if (cache_.find(h.version) == nullptr) batch_refs_.push_back(&h);
-  }
-  // A single miss gains nothing from batching; leave it to the
-  // sequential get_or_eval path (steady-state rounds hit this: at most
-  // the candidate-turned-history model is uncached, and promotion
-  // usually covers even that).
-  if (batch_refs_.size() < 2) return;
-  const std::size_t n = data_.size();
-  batch_preds_.resize(batch_refs_.size() * n);
-  batch_models_.clear();
-  for (std::size_t i = 0; i < batch_refs_.size(); ++i) {
-    batch_models_.push_back(
-        {*batch_refs_[i]->params,
-         std::span<std::size_t>(batch_preds_).subspan(i * n, n)});
-  }
-  engine_.predict_many(batch_models_, eval_ws_);
-  MetricsRegistry::global().add_counter("validator.batched_evals",
-                                        batch_refs_.size());
-  MetricsRegistry::global().add_counter("validator.model_materializations",
-                                        batch_refs_.size());
-  for (std::size_t i = 0; i < batch_refs_.size(); ++i) {
-    cache_.insert_missed(
-        batch_refs_[i]->version,
-        confusion_from_preds(
-            std::span<const std::size_t>(batch_preds_).subspan(i * n, n)));
-  }
 }
 
 void Validator::stash_pending(const ParamVec& candidate,
@@ -199,8 +162,7 @@ ValidationOutcome Validator::validate(const ParamVec& candidate,
   std::vector<HistoryRef> refs;
   refs.reserve(history.size());
   for (const auto& h : history) refs.push_back({h.version, &h.params});
-  MutexLock lock(mu_);
-  return validate_impl(candidate, refs);
+  return validate_refs(candidate, refs);
 }
 
 ValidationOutcome Validator::validate(const ParamVec& candidate,
@@ -208,8 +170,128 @@ ValidationOutcome Validator::validate(const ParamVec& candidate,
   std::vector<HistoryRef> refs;
   refs.reserve(history.size());
   for (const auto& h : history) refs.push_back({h->version, &h->params});
+  return validate_refs(candidate, refs);
+}
+
+ValidationOutcome Validator::validate_refs(
+    const ParamVec& candidate, std::span<const HistoryRef> history) {
+  // Runtime enforcement of the external-serialization contract on the
+  // unguarded engine-phase state: a second validate() overlapping this
+  // one would share batch_preds_/batch_models_, which no lock protects
+  // by design. Every current caller runs one validate per validator at
+  // a time (per-validator fan-out, per-actor ownership).
+  BAFFLE_CHECK(!validating_.exchange(true, std::memory_order_acquire),
+               "concurrent validate() calls on one Validator");
+  struct ClearFlag {
+    std::atomic<bool>& flag;
+    ~ClearFlag() { flag.store(false, std::memory_order_release); }
+  } clear_flag{validating_};
+
+  const ScopedTimer timer("validator.validate");
+  MetricsRegistry::global().add_counter("validator.validations");
+
+  // Phase 1 (locked): decide what this round must evaluate.
+  EvalPlan plan;
+  {
+    MutexLock lock(mu_);
+    plan = plan_round(candidate, history);
+  }
+
+  // Phase 2 (UNLOCKED): the only expensive step — one batched engine
+  // pass, free to fan out across the pool without holding mu_.
+  std::vector<ConfusionMatrix> missed_cms;
+  run_plan(candidate, history, plan, missed_cms);
+
+  // Phase 3 (locked): deposit and score against a fully-cached window.
   MutexLock lock(mu_);
-  return validate_impl(candidate, refs);
+  for (std::size_t i = 0; i < plan.missed.size(); ++i) {
+    cache_.insert_missed(history[plan.missed[i]].version,
+                         std::move(missed_cms[i]));
+  }
+  return score_round(candidate, history, plan);
+}
+
+Validator::EvalPlan Validator::plan_round(
+    const ParamVec& candidate, std::span<const HistoryRef> history) {
+  // A new round supersedes the previous candidate: whatever was pending
+  // becomes the repeat-candidate memo (the commit/reject notification
+  // evidently never arrived — e.g. pure-evaluation callers).
+  if (pending_) prev_candidate_ = std::move(pending_);
+  pending_.reset();
+
+  EvalPlan plan;
+  // A lone history model yields no variation points, so nothing reads
+  // its confusion matrix this round — don't evaluate it (matches the
+  // sequential implementation's laziness and its counter trail).
+  if (history.size() >= 2) {
+    plan.missed.reserve(history.size());
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      if (cache_.find(history[i].version) == nullptr) plan.missed.push_back(i);
+    }
+  }
+
+  // The candidate is evaluated only on rounds that will actually score
+  // it. This predicate mirrors the abstention check in score_round
+  // (m history models ⇒ m−1 variation points, for every method): on an
+  // abstaining round the history still gets evaluated — it feeds the
+  // incremental window — but the candidate pass is skipped, exactly as
+  // the sequential implementation skipped it.
+  const std::size_t variations = history.size() < 2 ? 0 : history.size() - 1;
+  plan.eval_candidate = variations >= config_.min_variations;
+
+  // Repeat submissions (an adaptive attacker's self-check loop, or a
+  // round replayed after a rejection) re-validate bit-identical
+  // parameters; deterministic inference makes the previous confusion
+  // matrix exact, so the forward pass is skipped entirely.
+  if (plan.eval_candidate && prev_candidate_ &&
+      prev_candidate_->params == candidate) {
+    MetricsRegistry::global().add_counter("validator.candidate_cm_reuse");
+    plan.candidate_cm = prev_candidate_->cm;
+  }
+  return plan;
+}
+
+void Validator::run_plan(const ParamVec& candidate,
+                         std::span<const HistoryRef> history, EvalPlan& plan,
+                         std::vector<ConfusionMatrix>& missed_cms) {
+  const bool need_candidate = plan.eval_candidate && !plan.candidate_cm;
+  const std::size_t evals = plan.missed.size() + (need_candidate ? 1 : 0);
+  if (evals == 0) return;
+  const std::size_t n = data_.size();
+  batch_preds_.resize(evals * n);
+  batch_models_.clear();
+  batch_models_.reserve(evals);
+  for (std::size_t i = 0; i < plan.missed.size(); ++i) {
+    batch_models_.push_back(
+        {*history[plan.missed[i]].params,
+         std::span<std::size_t>(batch_preds_).subspan(i * n, n)});
+  }
+  if (need_candidate) {
+    batch_models_.push_back(
+        {candidate, std::span<std::size_t>(batch_preds_)
+                        .subspan(plan.missed.size() * n, n)});
+  }
+  engine_.predict_many(batch_models_, batch_ws_);
+  MetricsRegistry::global().add_counter("validator.model_materializations",
+                                        evals);
+  // "Batched" means the engine amortized packing across several history
+  // models; a lone miss (steady-state rounds: at most the
+  // candidate-turned-history model, and promotion usually covers even
+  // that) is counted as a plain materialization only.
+  if (plan.missed.size() >= 2) {
+    MetricsRegistry::global().add_counter("validator.batched_evals",
+                                          plan.missed.size());
+  }
+  missed_cms.reserve(plan.missed.size());
+  for (std::size_t i = 0; i < plan.missed.size(); ++i) {
+    missed_cms.push_back(confusion_from_preds(
+        std::span<const std::size_t>(batch_preds_).subspan(i * n, n)));
+  }
+  if (need_candidate) {
+    plan.candidate_cm = confusion_from_preds(
+        std::span<const std::size_t>(batch_preds_)
+            .subspan(plan.missed.size() * n, n));
+  }
 }
 
 void Validator::sync_window(std::span<const HistoryRef> history) {
@@ -299,7 +381,8 @@ void Validator::sync_window(std::span<const HistoryRef> history) {
 }
 
 ValidationOutcome Validator::validate_lof_incremental(
-    const ParamVec& candidate, std::span<const HistoryRef> history) {
+    const ParamVec& candidate, std::span<const HistoryRef> history,
+    EvalPlan& plan) {
   ValidationOutcome outcome;
   sync_window(history);
 
@@ -314,8 +397,11 @@ ValidationOutcome Validator::validate_lof_incremental(
   const std::size_t k = lof_k_for_lookback(ell);
   BAFFLE_DCHECK(k == (ell + 1) / 2, "Algorithm 2 fixes k = ceil(l/2)");
 
-  // Candidate's variation point v_{ℓ+1} = v(𝒢^ℓ, G, D).
-  const ConfusionMatrix candidate_cm = evaluate_candidate(candidate);
+  // Candidate's variation point v_{ℓ+1} = v(𝒢^ℓ, G, D); its confusion
+  // matrix was produced by the plan's engine pass (or the repeat memo).
+  BAFFLE_CHECK(plan.candidate_cm.has_value(),
+               "scored round requires a planned candidate evaluation");
+  const ConfusionMatrix& candidate_cm = *plan.candidate_cm;
   const VariationPoint candidate_point =
       error_variation(evaluate_history(history.back()), candidate_cm);
   BAFFLE_DCHECK(candidate_point.size() == window_points_.front().size(),
@@ -339,23 +425,20 @@ ValidationOutcome Validator::validate_lof_incremental(
   return outcome;
 }
 
-ValidationOutcome Validator::validate_impl(
-    const ParamVec& candidate, std::span<const HistoryRef> history) {
-  const ScopedTimer timer("validator.validate");
-  MetricsRegistry::global().add_counter("validator.validations");
-  if (pending_) prev_candidate_ = std::move(pending_);
-  pending_.reset();
-  prefetch_history(history);
-
+ValidationOutcome Validator::score_round(
+    const ParamVec& candidate, std::span<const HistoryRef> history,
+    EvalPlan& plan) {
   if (config_.incremental &&
       config_.method == ValidationMethod::kErrorVariationLof) {
-    return validate_lof_incremental(candidate, history);
+    return validate_lof_incremental(candidate, history, plan);
   }
 
   ValidationOutcome outcome;
 
   // Variation points between consecutive accepted models. A history of
   // m models yields m-1 points; with the full ℓ+1 window that is ℓ.
+  // The evaluate_history calls below are cache hits by construction:
+  // every miss was listed by plan_round and deposited before scoring.
   std::vector<VariationPoint> variations;
   if (history.size() >= 2) {
     variations.reserve(history.size() - 1);
@@ -370,6 +453,9 @@ ValidationOutcome Validator::validate_impl(
     outcome.vote = 0;
     return outcome;
   }
+  BAFFLE_CHECK(plan.candidate_cm.has_value(),
+               "scored round requires a planned candidate evaluation");
+  const ConfusionMatrix& candidate_cm = *plan.candidate_cm;
 
   if (config_.method == ValidationMethod::kGlobalAccuracyZScore) {
     // Ablation A1: ignore class structure entirely; look only at the
@@ -380,7 +466,6 @@ ValidationOutcome Validator::validate_impl(
       deltas.push_back(evaluate_history(history[i]).accuracy() -
                        evaluate_history(history[i - 1]).accuracy());
     }
-    const ConfusionMatrix candidate_cm = evaluate_candidate(candidate);
     const double candidate_delta =
         candidate_cm.accuracy() - evaluate_history(history.back()).accuracy();
     stash_pending(candidate, candidate_cm);
@@ -400,7 +485,6 @@ ValidationOutcome Validator::validate_impl(
     for (const auto& v : variations) {
       norms.push_back(variation_distance(v, origin));
     }
-    const ConfusionMatrix candidate_cm = evaluate_candidate(candidate);
     const VariationPoint candidate_point =
         error_variation(evaluate_history(history.back()), candidate_cm);
     stash_pending(candidate, candidate_cm);
@@ -422,7 +506,6 @@ ValidationOutcome Validator::validate_impl(
                 "tau is calibrated on trusted points inside the window");
 
   // Candidate's variation point v_{ℓ+1} = v(𝒢^ℓ, G, D).
-  const ConfusionMatrix candidate_cm = evaluate_candidate(candidate);
   const VariationPoint candidate_point =
       error_variation(evaluate_history(history.back()), candidate_cm);
   BAFFLE_DCHECK(candidate_point.size() == variations.front().size(),

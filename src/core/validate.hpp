@@ -24,7 +24,19 @@
 // next round's history.back(). All of it is bit-identical to fresh
 // recomputation; `ValidatorConfig::incremental = false` selects the
 // recompute-everything path (benchmarks, parity tests).
+//
+// Lock scope (DESIGN.md §17): a validate() call runs in three phases —
+// plan (under mu_: shift the pending memo, list uncached history
+// versions, check the repeat-candidate memo), evaluate (OUTSIDE mu_:
+// one batched MultiModelEval pass over every uncached model plus the
+// candidate, fanned out across the pool), and score (under mu_ again:
+// deposit the confusion matrices, then LOF/τ/φ). The engine therefore
+// never waits on the thread pool while mu_ is held — a help-draining
+// waiter can steal ANOTHER validator's validate task, and two
+// validators stealing each other's work while holding their own locks
+// would deadlock.
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -83,6 +95,11 @@ struct ValidatorConfig {
   /// calibrated so votes and confusion matrices stay unchanged on the
   /// bench scenarios.
   EvalPrecision eval_precision = EvalPrecision::kFp32;
+  /// Fan the batched evaluation engine's tiles out across the global
+  /// thread pool (DESIGN.md §17). Predictions — hence votes, φ and τ —
+  /// are byte-identical either way; `false` pins the serial engine
+  /// (parity tests, single-core baselines).
+  bool parallel_eval = true;
 };
 
 struct ValidationOutcome {
@@ -153,12 +170,35 @@ class Validator {
     ConfusionMatrix cm;
   };
 
-  ValidationOutcome validate_impl(const ParamVec& candidate,
-                                  std::span<const HistoryRef> history)
+  /// What the round's single engine pass must evaluate, decided under
+  /// mu_ in phase 1 and carried across the unlocked phase 2.
+  struct EvalPlan {
+    std::vector<std::size_t> missed;  // indices into the history span
+    bool eval_candidate = false;
+    /// Filled by the memo hit in phase 1 or by the engine in phase 2;
+    /// empty only when the round will abstain before scoring the
+    /// candidate (too little history — same predicate in plan & score).
+    std::optional<ConfusionMatrix> candidate_cm;
+  };
+
+  ValidationOutcome validate_refs(const ParamVec& candidate,
+                                  std::span<const HistoryRef> history);
+  /// Phase 1 (locked): memo shift + repeat-candidate check + the list
+  /// of uncached history versions.
+  EvalPlan plan_round(const ParamVec& candidate,
+                      std::span<const HistoryRef> history)
       BAFFLE_REQUIRES(mu_);
+  /// Phase 2 (UNLOCKED): one batched predict_many over the plan.
+  void run_plan(const ParamVec& candidate,
+                std::span<const HistoryRef> history, EvalPlan& plan,
+                std::vector<ConfusionMatrix>& missed_cms);
+  /// Phase 3 (locked): scoring on a fully-cached window.
+  ValidationOutcome score_round(const ParamVec& candidate,
+                                std::span<const HistoryRef> history,
+                                EvalPlan& plan) BAFFLE_REQUIRES(mu_);
   ValidationOutcome validate_lof_incremental(
-      const ParamVec& candidate, std::span<const HistoryRef> history)
-      BAFFLE_REQUIRES(mu_);
+      const ParamVec& candidate, std::span<const HistoryRef> history,
+      EvalPlan& plan) BAFFLE_REQUIRES(mu_);
   void sync_window(std::span<const HistoryRef> history) BAFFLE_REQUIRES(mu_);
   void stash_pending(const ParamVec& candidate, const ConfusionMatrix& cm)
       BAFFLE_REQUIRES(mu_);
@@ -167,43 +207,43 @@ class Validator {
   /// order identical to evaluate_confusion's).
   ConfusionMatrix confusion_from_preds(
       std::span<const std::size_t> preds) const;
-  /// One fused-engine evaluation (counts a model materialization).
+  /// One SERIAL fused-engine evaluation (counts a model
+  /// materialization). Under-lock fallback only — it must not wait on
+  /// the pool — and after plan/run deposits, only reachable through a
+  /// cache eviction race that the window size rules out in practice.
   ConfusionMatrix evaluate_params(const ParamVec& params)
       BAFFLE_REQUIRES(mu_);
-  /// Candidate evaluation with the repeat-candidate short-circuit: a
-  /// candidate bit-equal to the one scored by the previous validate()
-  /// reuses its confusion matrix instead of re-running inference.
-  ConfusionMatrix evaluate_candidate(const ParamVec& candidate)
-      BAFFLE_REQUIRES(mu_);
   const ConfusionMatrix& evaluate_history(const HistoryRef& snapshot)
-      BAFFLE_REQUIRES(mu_);
-  /// Batches every uncached history model through one predict_many pass
-  /// (cache-miss-heavy paths: first rounds, fresh validators, lookback
-  /// growth). Deposits results via PredictionCache::insert_missed, so
-  /// the miss accounting matches the sequential get_or_eval path.
-  void prefetch_history(std::span<const HistoryRef> history)
       BAFFLE_REQUIRES(mu_);
 
   Dataset data_;
   ValidatorConfig config_;
 
-  // One lock serializes a validator's whole mutable state: a validate
-  // call is a single critical section (the engine scratch, prediction
-  // cache and incremental LOF window all mutate together), and the
-  // commit/reject feedback must be ordered against it. Concurrency in
-  // the system comes from running many validators, not from sharing one.
+  // One lock serializes a validator's incremental state: the prediction
+  // cache, the pending/repeat-candidate memos and the incremental LOF
+  // window mutate together, and the commit/reject feedback must be
+  // ordered against scoring. The ENGINE deliberately runs outside it
+  // (see header comment): mu_ is never held across a pool wait.
   mutable Mutex mu_;
-  MultiModelEval engine_ BAFFLE_GUARDED_BY(mu_);  // batched fused evaluation
-  MlpEvalWorkspace eval_ws_ BAFFLE_GUARDED_BY(mu_);  // inference scratch
   PredictionCache cache_ BAFFLE_GUARDED_BY(mu_);
   std::optional<PendingCandidate> pending_ BAFFLE_GUARDED_BY(mu_);
   std::optional<PendingCandidate> prev_candidate_
       BAFFLE_GUARDED_BY(mu_);  // repeat-candidate memo
   std::vector<std::size_t> preds_scratch_ BAFFLE_GUARDED_BY(mu_);
-  std::vector<std::size_t> batch_preds_
-      BAFFLE_GUARDED_BY(mu_);  // prefetch: models x samples
-  std::vector<MultiEvalModel> batch_models_ BAFFLE_GUARDED_BY(mu_);
-  std::vector<const HistoryRef*> batch_refs_ BAFFLE_GUARDED_BY(mu_);
+  MlpEvalWorkspace eval_ws_ BAFFLE_GUARDED_BY(mu_);  // serial fallback
+
+  // Engine-phase state, deliberately NOT guarded by mu_. The engine is
+  // immutable after its setup-time bind() apart from an internally
+  // synchronized lazy mirror build, and the batch scratch below is
+  // confined to the single in-flight validate(): validate() calls on
+  // one validator are externally serialized (defense.evaluate invokes
+  // each validator once per round; rounds are chained by the task
+  // graph), a contract enforced at runtime by `validating_`.
+  MultiModelEval engine_;
+  MlpEvalWorkspace batch_ws_;
+  std::vector<std::size_t> batch_preds_;  // plan evals x samples
+  std::vector<MultiEvalModel> batch_models_;
+  std::atomic<bool> validating_{false};
 
   // Incremental LOF state (valid for the window identified by
   // window_keys_; rebuilt — reusing overlapping entries — when the

@@ -180,7 +180,7 @@ void pack_bt_panels(const Matrix& b, PackedB& out) {
   const std::size_t k = b.cols(), n = b.rows();
   const std::size_t panels = (n + pc - 1) / pc;
   out.data_.resize(panels * k * pc);
-  for (std::size_t jp = 0; jp < panels; ++jp) {
+  const auto pack_panel = [&](std::size_t jp) {
     float* panel = out.data_.data() + jp * k * pc;
     const std::size_t j0 = jp * pc;
     const std::size_t cols = std::min(pc, n - j0);
@@ -191,6 +191,19 @@ void pack_bt_panels(const Matrix& b, PackedB& out) {
     for (std::size_t c = cols; c < pc; ++c) {
       for (std::size_t p = 0; p < k; ++p) panel[p * pc + c] = 0.0f;
     }
+  };
+  // Validation-sized packs (MultiModelEval::bind over a whole holdout)
+  // fan the panels out across the pool — each panel is a disjoint write
+  // with identical per-element copies, so the pack is byte-identical to
+  // the serial loop for any thread count. Training-sized packs (a batch
+  // inside gemm_abt) stay inline: the gather is cheaper than a task.
+  constexpr std::size_t kParallelPackElems = std::size_t{1} << 18;
+  ThreadPool& pool = ThreadPool::global();
+  if (panels >= 2 && panels * k * pc >= kParallelPackElems &&
+      pool.size() > 1) {
+    pool.parallel_for(panels, pack_panel);
+  } else {
+    for (std::size_t jp = 0; jp < panels; ++jp) pack_panel(jp);
   }
   out.k_ = k;
   out.n_ = n;

@@ -46,11 +46,13 @@ class BatchedValidate : public ::testing::Test {
   }
 
   Validator make_validator(std::size_t lookback,
-                           EvalPrecision precision = EvalPrecision::kFp32) {
+                           EvalPrecision precision = EvalPrecision::kFp32,
+                           bool parallel_eval = true) {
     ValidatorConfig cfg;
     cfg.lookback = lookback;
     cfg.min_variations = 2;
     cfg.eval_precision = precision;
+    cfg.parallel_eval = parallel_eval;
     return Validator(data_, arch_, cfg);
   }
 
@@ -183,6 +185,50 @@ TEST_F(BatchedValidate, RepeatCandidateShortCircuitsMaterialization) {
   EXPECT_GT(
       MetricsRegistry::global().counter("validator.model_materializations"),
       materialized);
+}
+
+TEST_F(BatchedValidate, ParallelEvalParityAcrossRoundsAndArms) {
+  // ValidatorConfig::parallel_eval only changes which threads execute
+  // the engine's tiles (DESIGN.md §17): votes, φ, τ, abstentions and
+  // every cached confusion matrix must be bit-identical with the flag
+  // on and off, on all three precision arms. The ctest entries
+  // multi_eval_parallel_parity_t{1,4} re-run this suite under pinned
+  // pool sizes, extending the identity across thread counts.
+  const std::size_t ell = 10;
+  for (const EvalPrecision prec :
+       {EvalPrecision::kFp32, EvalPrecision::kBf16, EvalPrecision::kInt8}) {
+    SCOPED_TRACE(static_cast<int>(prec));
+    Validator par = make_validator(ell, prec, /*parallel_eval=*/true);
+    Validator ser = make_validator(ell, prec, /*parallel_eval=*/false);
+
+    std::deque<GlobalModel> window;
+    std::uint64_t version = 0;
+    window.push_back({version, params_});
+    Rng rng(88);
+    std::size_t non_abstained = 0;
+    for (std::size_t round = 0; round < ell + 5; ++round) {
+      const std::vector<GlobalModel> history(window.begin(), window.end());
+      const ParamVec candidate = next_params(rng);
+      const auto ref = ser.validate(candidate, history);
+      const auto got = par.validate(candidate, history);
+      expect_same(ref, got);
+      if (!ref.abstained) ++non_abstained;
+      ++version;
+      window.push_back({version, candidate});
+      while (window.size() > ell + 1) window.pop_front();
+      ser.notify_commit(version, candidate);
+      par.notify_commit(version, candidate);
+      params_ = candidate;
+    }
+    ASSERT_GT(non_abstained, 4u);
+    for (const auto& entry : window) {
+      const ConfusionMatrix* a = ser.cache().find(entry.version);
+      const ConfusionMatrix* b = par.cache().find(entry.version);
+      EXPECT_EQ(a == nullptr, b == nullptr) << "version " << entry.version;
+      if (a != nullptr && b != nullptr) expect_same_cm(*a, *b);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
 }
 
 class BatchedValidatePrecision

@@ -84,6 +84,31 @@ TEST(ParallelExperiment, AdaptiveRunMatchesSerialBitExact) {
   expect_results_identical(parallel, serial);
 }
 
+TEST(ParallelExperiment, ParallelEngineNestsInPipelinedRepeatedRuns) {
+  // Deepest nesting the runtime supports: the pool-parallel evaluation
+  // engine (DESIGN.md §17) runs inside a validator task of a pipelined
+  // task-graph round, itself a repetition task of run_repeated — three
+  // levels of fork-join on one pool, safe because validate() never
+  // holds its lock across a pool wait and waiters help-drain. The
+  // engine's thread placement must not leak into results: runs with
+  // parallel_eval on and off are bit-identical.
+  ExperimentConfig cfg = small_config();
+  cfg.rounds = 14;
+  cfg.track_accuracy = false;
+  cfg.scenario.parallel_rounds = true;
+  cfg.scenario.pipeline_rounds = true;
+  cfg.feedback.validator.parallel_eval = true;
+  const auto nested = run_repeated(cfg, 2, 131);
+  cfg.feedback.validator.parallel_eval = false;
+  const auto serial_engine = run_repeated(cfg, 2, 131);
+  ASSERT_EQ(nested.runs.size(), 2u);
+  ASSERT_EQ(serial_engine.runs.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    SCOPED_TRACE(i);
+    expect_results_identical(nested.runs[i], serial_engine.runs[i]);
+  }
+}
+
 TEST(ParallelExperiment, RunRepeatedNestsInsidePool) {
   // Repetitions run as pool tasks; each repetition's rounds then issue
   // their own parallel_for. The help-drain pool makes that safe, and

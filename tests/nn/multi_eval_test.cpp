@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "data/synth.hpp"
 #include "nn/mlp.hpp"
+#include "util/metrics.hpp"
 
 namespace baffle {
 namespace {
@@ -202,6 +204,97 @@ INSTANTIATE_TEST_SUITE_P(Arms, MultiModelEvalReducedPrecision,
                                       ? "bf16"
                                       : "int8";
                          });
+
+// Thread-count invariance (DESIGN.md §17): the pool-parallel tile sweep
+// must produce BYTE-identical predictions and margins to the serial
+// tile loop — same tile function, disjoint output slices, no reordered
+// reductions — at whatever pool size this process runs with. The ctest
+// entries multi_eval_parallel_parity_t{1,4} re-run this suite with
+// BAFFLE_THREADS pinned to 1 and 4, so the identity is checked across
+// pool sizes, not just within one.
+struct ParallelRun {
+  std::vector<std::size_t> preds;    // model-major, models × samples
+  std::vector<float> margins;        // model-major, models × samples
+  std::uint64_t guard_samples = 0;   // flagged re-evals this run
+};
+
+ParallelRun run_engine(MultiModelEval& engine,
+                       const std::vector<std::vector<float>>& chain,
+                       std::size_t samples, EvalPrecision prec,
+                       bool parallel) {
+  ParallelRun run;
+  run.preds.assign(chain.size() * samples, 0);
+  run.margins.assign(chain.size() * samples, 0.0f);
+  std::vector<MultiEvalModel> models;
+  for (std::size_t v = 0; v < chain.size(); ++v) {
+    models.push_back(
+        {chain[v],
+         std::span<std::size_t>(run.preds).subspan(v * samples, samples),
+         std::span<float>(run.margins).subspan(v * samples, samples)});
+  }
+  MlpEvalWorkspace ws;
+  ws.precision = prec;
+  ws.parallel = parallel;
+  const std::uint64_t before =
+      MetricsRegistry::global().counter("multi_eval.guard_samples");
+  engine.predict_many(models, ws);
+  run.guard_samples =
+      MetricsRegistry::global().counter("multi_eval.guard_samples") - before;
+  return run;
+}
+
+TEST(MultiModelEvalParallelParity, Fp32BytesEqualSerialAndSequential) {
+  const MlpConfig arch{{32, 24, 10}, Activation::kRelu};
+  Rng rng(55);
+  // Two model chunks × three panel blocks, so the parallel sweep has
+  // genuinely independent tiles in both dimensions.
+  const std::size_t count = MultiModelEval::kModelChunk + 5;
+  const auto chain = model_chain(arch, rng, count);
+  const Matrix x = features_matrix(60, 32, 56);  // 600 samples, 38 panels
+  MultiModelEval engine(arch);
+  engine.bind(x);
+
+  const ParallelRun serial =
+      run_engine(engine, chain, x.rows(), EvalPrecision::kFp32, false);
+  const ParallelRun parallel =
+      run_engine(engine, chain, x.rows(), EvalPrecision::kFp32, true);
+  EXPECT_EQ(parallel.preds, serial.preds);
+  // Margins are floats: require bit equality, not approximate equality.
+  ASSERT_EQ(parallel.margins.size(), serial.margins.size());
+  EXPECT_EQ(std::memcmp(parallel.margins.data(), serial.margins.data(),
+                        serial.margins.size() * sizeof(float)),
+            0);
+  for (std::size_t v = 0; v < count; ++v) {
+    EXPECT_EQ(std::vector<std::size_t>(
+                  serial.preds.begin() + static_cast<std::ptrdiff_t>(
+                                             v * x.rows()),
+                  serial.preds.begin() + static_cast<std::ptrdiff_t>(
+                                             (v + 1) * x.rows())),
+              sequential_preds(arch, chain[v], x));
+  }
+}
+
+TEST(MultiModelEvalParallelParity, ReducedArmsMatchSerialIncludingGuard) {
+  const MlpConfig arch{{32, 64, 10}, Activation::kRelu};
+  Rng rng(404);
+  const auto chain = model_chain(arch, rng, MultiModelEval::kModelChunk + 3);
+  const Matrix x = features_matrix(60, 32, 404);
+  MultiModelEval engine(arch);
+  engine.bind(x);
+
+  for (const EvalPrecision prec :
+       {EvalPrecision::kBf16, EvalPrecision::kInt8}) {
+    SCOPED_TRACE(prec == EvalPrecision::kBf16 ? "bf16" : "int8");
+    const ParallelRun serial =
+        run_engine(engine, chain, x.rows(), prec, false);
+    const ParallelRun parallel =
+        run_engine(engine, chain, x.rows(), prec, true);
+    // The flagged set is derived from bit-identical margins, so the
+    // guard must re-evaluate exactly the same samples either way.
+    EXPECT_EQ(parallel.preds, serial.preds);
+    EXPECT_EQ(parallel.guard_samples, serial.guard_samples);
+  }
+}
 
 }  // namespace
 }  // namespace baffle

@@ -286,6 +286,18 @@ int main(int argc, char** argv) {
                 registry.timer_mean_ms("task_graph.node.checkpoint"),
                 registry.timer_mean_ms("task_graph.node.eval"));
   }
+  const std::uint64_t engine_runs = registry.timer_count("multi_eval.run");
+  if (engine_runs > 0) {
+    std::printf("eval engine: %llu batched passes over %llu tiles — "
+                "bind %.2f ms, run %.2f ms, %llu guard re-evals\n",
+                static_cast<unsigned long long>(engine_runs),
+                static_cast<unsigned long long>(
+                    registry.counter("multi_eval.tiles")),
+                registry.timer_mean_ms("multi_eval.bind"),
+                registry.timer_mean_ms("multi_eval.run"),
+                static_cast<unsigned long long>(
+                    registry.counter("multi_eval.guard_samples")));
+  }
   if (flags.has("metrics")) {
     const std::string path = flags.str("metrics", "metrics.csv");
     try {

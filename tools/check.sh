@@ -128,18 +128,30 @@ run_bench_smoke() {
 
 run_multieval_smoke() {
   # Exits nonzero when the batched engine's fp32 predictions are not
-  # byte-identical to sequential Mlp::predict_into, or when a
-  # reduced-precision arm's confusion matrices diverge from fp32. Smoke
-  # mode skips the ≥2x int8 speedup gate (timing on shared CI hosts is
-  # too noisy to assert).
+  # byte-identical to sequential Mlp::predict_into, when a
+  # reduced-precision arm's confusion matrices diverge from fp32, or
+  # when the pool-parallel arms are not byte-identical to the serial
+  # tile loop. Smoke mode skips the ≥2x speed gates (timing on shared
+  # CI hosts is too noisy to assert).
   cmake --build build-strict -j "$JOBS" --target multieval_bench &&
     (cd build-strict && ./bench/multieval_bench --smoke)
+}
+
+run_bench_gate() {
+  # Compares the smoke runs' fresh JSON against the committed
+  # baselines: parity/bit-identity flags hard-fail unconditionally;
+  # speedups are tolerance-checked only when both runs enforced their
+  # speed gates (multi-core, non-smoke — so typically skipped here, but
+  # the flag scan still guards every committed and fresh file).
+  python3 tools/bench_gate.py --fresh build-strict --baseline . \
+    --file BENCH_defense.json --file BENCH_multieval.json
 }
 
 if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
   stage "defense bench smoke (incremental parity)" run_bench_smoke
   stage "multieval bench smoke (batched/reduced-precision parity)" \
     run_multieval_smoke
+  stage "bench gate (fresh JSON vs committed baselines)" run_bench_gate
 fi
 
 run_sweep_smoke() {
@@ -189,8 +201,8 @@ run_tsan_suites() {
   # GEMM, round-training, secure-agg masking and defense.evaluate paths
   # actually interleave under TSan.
   local bin
-  for bin in test_tensor test_core test_util test_data test_fl test_net \
-      test_exp; do
+  for bin in test_tensor test_nn test_core test_util test_data test_fl \
+      test_net test_exp; do
     BAFFLE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
       "./build-tsan/tests/${bin}" --gtest_brief=1 || return 1
   done
@@ -199,7 +211,8 @@ run_tsan_suites() {
 if [[ "$RUN_TSAN" -eq 1 ]]; then
   stage "TSan build (BAFFLE_TSAN=ON)" \
     build_targets build-tsan -DBAFFLE_TSAN=ON \
-    test_tensor test_core test_util test_data test_fl test_net test_exp
+    test_tensor test_nn test_core test_util test_data test_fl test_net \
+    test_exp
   stage "concurrent suites under TSan" run_tsan_suites
 fi
 
